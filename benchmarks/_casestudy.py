@@ -1,0 +1,26 @@
+"""Shared driver for the Table IV-IX case-study benchmarks."""
+
+from __future__ import annotations
+
+from repro.core import render_comparison_table
+from repro.experiments import reproduce_table
+
+
+def run_table_bench(benchmark, printed, workload_name: str) -> None:
+    """Regenerate one case-study table, print it, and assert the bands."""
+    table = benchmark(reproduce_table, workload_name)
+    key = f"table-{workload_name}"
+    if key not in printed:
+        printed.add(key)
+        print("\n" + table.render())
+        print(
+            render_comparison_table(
+                f"paper-vs-measured ({workload_name})", table.comparison_rows()
+            )
+        )
+    failures = [
+        (c.label, c.result.step)
+        for c in table.comparisons
+        if not c.all_ok
+    ]
+    assert not failures, failures

@@ -1,0 +1,50 @@
+"""E-A3: ablation — the MLP metric is frequency-independent.
+
+The paper pins core frequencies "to easily measure the benefit from
+optimizations such as vectorization that can significantly alter core
+frequency".  A deeper property makes that safe: ``n_avg`` is a
+*memory-side* quantity (bandwidth × latency / line), so re-running the
+analysis at different core frequencies must not move it — unlike
+cycle-denominated metrics (stall cycles, latency-in-cycles), which all
+scale with the clock.  This ablation verifies both halves.
+"""
+
+from repro.core import MlpCalculator
+from repro.units import ns_to_cycles
+
+FREQS_GHZ = (1.5, 2.1, 3.0)
+
+
+def _sweep():
+    from repro.machines import get_machine
+
+    base = get_machine("skl")
+    rows = []
+    for freq in FREQS_GHZ:
+        machine = base.with_frequency(freq * 1e9)
+        result = MlpCalculator(machine).calculate_gbs(106.9)
+        rows.append(
+            {
+                "freq": freq,
+                "n_avg": result.n_avg,
+                "latency_ns": result.latency_ns,
+                "latency_cycles": ns_to_cycles(result.latency_ns, freq),
+            }
+        )
+    return rows
+
+
+def test_mlp_is_frequency_invariant(benchmark, printed):
+    rows = benchmark(_sweep)
+    if "ablation-frequency" not in printed:
+        printed.add("ablation-frequency")
+        print(f"\n{'GHz':>5s} {'n_avg':>7s} {'lat ns':>7s} {'lat cycles':>11s}")
+        for r in rows:
+            print(
+                f"{r['freq']:>5.1f} {r['n_avg']:>7.2f} {r['latency_ns']:>7.0f} "
+                f"{r['latency_cycles']:>11.0f}"
+            )
+    n_values = [r["n_avg"] for r in rows]
+    assert max(n_values) - min(n_values) < 1e-9  # the portable metric
+    cycle_values = [r["latency_cycles"] for r in rows]
+    assert cycle_values[-1] > 1.5 * cycle_values[0]  # the fragile one

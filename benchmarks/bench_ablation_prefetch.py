@@ -1,0 +1,32 @@
+"""E-A2: ablation — software-prefetch distance on the ISx unlock.
+
+The paper's L2-prefetch win depends on the prefetch arriving a full
+memory latency ahead of its demand.  :func:`prefetch_distance_sweep`
+sweeps the software pipelining distance on the KNL ISx trace; the
+crossover shows: short distances leave the L1 MSHR file pegged (late
+prefetches), long distances migrate the bottleneck and buy bandwidth.
+"""
+
+from conftest import pedantic_once
+
+from repro.experiments.ablation import prefetch_distance_sweep
+
+
+def test_prefetch_distance_ablation(benchmark, printed):
+    results = pedantic_once(benchmark, prefetch_distance_sweep)
+    if "ablation-prefetch" not in printed:
+        printed.add("ablation-prefetch")
+        print(f"\n{'distance':>9s} {'L1 full':>8s} {'L2 occ':>7s} {'BW GB/s':>8s}")
+        for r in results:
+            print(
+                f"{r.distance:>9d} {r.l1_full_fraction:>7.0%} "
+                f"{r.l2_occupancy:>7.1f} {r.bandwidth_gbs:>8.1f}"
+            )
+    by_distance = {r.distance: r for r in results}
+    base, far = by_distance[0], by_distance[64]
+    assert base.l1_full_fraction > 0.8  # no prefetching: L1 pegged
+    assert far.l1_full_fraction < 0.5 * base.l1_full_fraction
+    assert far.l2_occupancy > 1.3 * base.l2_occupancy
+    assert far.elapsed_ns < base.elapsed_ns
+    # Timeliness matters: far-ahead beats near-distance prefetching.
+    assert far.l1_full_fraction < by_distance[4].l1_full_fraction

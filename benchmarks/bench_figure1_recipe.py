@@ -1,0 +1,18 @@
+"""E-F1: regenerate paper Figure 1 as a decision procedure.
+
+Walks every case-study optimization row through the recipe and reports
+the aggregate prediction accuracy (the paper's headline claim: the
+guidance "is indeed very appropriate").
+"""
+
+from repro.experiments import reproduce_figure1
+
+
+def test_figure1_recipe_accuracy(benchmark, printed):
+    fig1 = benchmark(reproduce_figure1)
+    if "figure1" not in printed:
+        printed.add("figure1")
+        print("\n" + fig1.render())
+    assert fig1.total >= 28
+    assert fig1.unexplained_disagreements == 0
+    assert fig1.accuracy == 1.0

@@ -1,0 +1,26 @@
+"""E-F2: regenerate paper Figure 2 (ISx/KNL roofline + L1-MSHR ceiling).
+
+Prints the plot series (intensity, classic bound, extended bound) plus
+the two ISx points, and asserts the figure's argument: the base point
+is pinned by the ~256 GB/s L1-MSHR ceiling despite classic-roofline
+headroom, and the L2-prefetched point breaks through it.
+"""
+
+import pytest
+
+from repro.experiments import FIGURE2, reproduce_figure2
+
+
+def test_figure2_extended_roofline(benchmark, printed):
+    fig2 = benchmark(reproduce_figure2)
+    if "figure2" not in printed:
+        printed.add("figure2")
+        print("\n" + fig2.render())
+        print(f"{'intensity':>10s} {'classic':>10s} {'extended':>10s}")
+        for x, classic, extended in fig2.series[::4]:
+            print(f"{x:>10.3f} {classic:>10.1f} {extended:>10.1f}")
+    assert fig2.l1_ceiling_bw_gbs == pytest.approx(
+        FIGURE2.l1_ceiling_bw_gbs, rel=0.05
+    )
+    assert fig2.base_pinned_by_ceiling
+    assert fig2.optimized_breaks_ceiling

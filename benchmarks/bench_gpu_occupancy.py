@@ -1,0 +1,54 @@
+"""E-G2: §III-H — GPU MSHR-occupancy guidance on kernel archetypes.
+
+Three kernels exercise the paper's GPU rules: a register hog (low
+occupancy → cut registers), a streaming copy (full MSHRs → shared-
+memory reuse), and an uncoalesced gather (coalescing first).
+"""
+
+from repro.gpu import GpuAction, GpuAdvisor, KernelDescriptor, a100_like
+
+KERNELS = {
+    "register_hog": KernelDescriptor(
+        name="register_hog",
+        threads_per_block=256,
+        registers_per_thread=128,
+        shared_mem_per_block_bytes=0,
+        mlp_per_warp=2.0,
+    ),
+    "streaming_copy": KernelDescriptor(
+        name="streaming_copy",
+        threads_per_block=256,
+        registers_per_thread=32,
+        shared_mem_per_block_bytes=0,
+        mlp_per_warp=4.0,
+    ),
+    "uncoalesced_gather": KernelDescriptor(
+        name="uncoalesced_gather",
+        threads_per_block=128,
+        registers_per_thread=40,
+        shared_mem_per_block_bytes=8 * 1024,
+        mlp_per_warp=2.0,
+        coalescing=0.25,
+    ),
+}
+
+
+def _analyze_all():
+    advisor = GpuAdvisor(a100_like())
+    return {name: advisor.analyze(k) for name, k in KERNELS.items()}
+
+
+def test_gpu_occupancy_guidance(benchmark, printed):
+    analyses = benchmark(_analyze_all)
+    if "gpu" not in printed:
+        printed.add("gpu")
+        print()
+        for analysis in analyses.values():
+            print(analysis.render())
+            print()
+    actions = {
+        name: [r.action for r in a.recommendations] for name, a in analyses.items()
+    }
+    assert GpuAction.REDUCE_REGISTERS in actions["register_hog"]
+    assert GpuAction.USE_SHARED_MEMORY in actions["streaming_copy"]
+    assert actions["uncoalesced_gather"][0] is GpuAction.IMPROVE_COALESCING

@@ -1,0 +1,36 @@
+"""E-I1: the intro/related-work TMA critique on the simulator.
+
+* SNAP/SKL: TMA's bandwidth/latency split is murky and its derived
+  latency far below the true loaded latency, while the MLP analysis is
+  actionable (paper Section I);
+* the PEBS-style load-latency counter under-reports on streaming
+  (hpcg) and over-reports on random (ISx) runs (paper Section II).
+"""
+
+from conftest import pedantic_once
+
+from repro.experiments import (
+    reproduce_intro_snap,
+    reproduce_latency_counter_demo,
+)
+
+
+def test_snap_tma_vs_mlp(benchmark, printed):
+    intro = pedantic_once(benchmark, reproduce_intro_snap, accesses_per_thread=2500)
+    if "intro-snap" not in printed:
+        printed.add("intro-snap")
+        print("\n" + intro.render())
+    assert intro.tma_guidance_is_unclear
+    assert intro.tma_latency_misleading
+    assert intro.mlp_guidance_is_actionable
+
+
+def test_load_latency_counter_demo(benchmark, printed):
+    demo = pedantic_once(
+        benchmark, reproduce_latency_counter_demo, accesses_per_thread=2500
+    )
+    if "latency-demo" not in printed:
+        printed.add("latency-demo")
+        print("\n" + demo.render())
+    assert demo.streaming_underreports
+    assert demo.random_overreports

@@ -1,0 +1,26 @@
+"""E-V1: ISx MSHR-stall migration on the cycle-level-simulator substitute.
+
+Paper Section IV-A's separate validation: base ISx pegs the L1 MSHR
+file; after L2 software prefetching the stalls collapse and the L2 MSHR
+file becomes the busy queue.
+"""
+
+import pytest
+
+from conftest import pedantic_once
+
+from repro.experiments import reproduce_stall_migration
+
+
+@pytest.mark.parametrize("machine_name", ["knl", "a64fx"])
+def test_stall_migration(benchmark, printed, machine_name):
+    result = pedantic_once(
+        benchmark, reproduce_stall_migration, machine_name, accesses_per_thread=3500
+    )
+    key = f"stall-{machine_name}"
+    if key not in printed:
+        printed.add(key)
+        print("\n" + result.render())
+    assert result.base_l1_full_fraction > 0.5
+    assert result.bottleneck_migrated
+    assert result.bandwidth_improved

@@ -1,0 +1,23 @@
+"""E-XV: cross-validate trace generators against analytic descriptors.
+
+All 18 workload × machine base traces run through the discrete-event
+simulator; the measured prefetch coverage must classify each routine
+onto the binding MSHR file its analytic descriptor declares (random →
+L1, streaming → L2), with matching occupancy signatures.  This is the
+non-circular check that the Tables IV–IX engine rests on access
+patterns the microarchitecture model actually produces.
+"""
+
+from conftest import pedantic_once
+
+from repro.experiments import cross_validate, render_cross_validation
+
+
+def test_trace_vs_descriptor_cross_validation(benchmark, printed):
+    rows = pedantic_once(benchmark, cross_validate, accesses_per_thread=2000)
+    if "cross-validation" not in printed:
+        printed.add("cross-validation")
+        print("\n" + render_cross_validation(rows))
+    bad = [f"{r.workload}@{r.machine}" for r in rows if not r.ok]
+    assert not bad, bad
+    assert len(rows) == 18

@@ -1,0 +1,28 @@
+"""E-T1: regenerate paper Table I (counter visibility across vendors)."""
+
+from repro.counters import table1_matrix
+from repro.experiments import check_table1
+
+
+def _render(matrix) -> str:
+    header = (
+        f"{'Processor':<10s} {'Breakdown of stalls':<20s} "
+        f"{'L1-MSHRQ-full':<14s} {'L2-MSHRQ-full':<14s} {'Memory latency':<14s}"
+    )
+    lines = ["Table I - counter visibility", header, "-" * len(header)]
+    for name, row in matrix.items():
+        lines.append(
+            f"{name:<10s} {row.stall_breakdown.value:<20s} "
+            f"{row.l1_mshrq_full_stalls.value:<14s} "
+            f"{row.l2_mshrq_full_stalls.value:<14s} {row.memory_latency.value:<14s}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_reproduction(benchmark, printed):
+    matrix = benchmark(table1_matrix)
+    if "table1" not in printed:
+        printed.add("table1")
+        print("\n" + _render(matrix))
+    checks = check_table1()
+    assert all(c.ok for c in checks), [c.label for c in checks if not c.ok]

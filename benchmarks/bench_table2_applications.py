@@ -1,0 +1,21 @@
+"""E-T2: regenerate paper Table II (the application inventory)."""
+
+from repro.experiments import check_table2
+from repro.workloads import ALL_WORKLOADS
+
+
+def _render() -> str:
+    header = f"{'Application':<12s} {'Routine':<20s} Problem size"
+    lines = ["Table II - applications", header, "-" * 70]
+    for w in ALL_WORKLOADS:
+        lines.append(f"{w.name:<12s} {w.routine:<20s} {w.problem_size}")
+    return "\n".join(lines)
+
+
+def test_table2_reproduction(benchmark, printed):
+    checks = benchmark(check_table2)
+    if "table2" not in printed:
+        printed.add("table2")
+        print("\n" + _render())
+    assert all(c.ok for c in checks)
+    assert len(ALL_WORKLOADS) == 6

@@ -1,0 +1,19 @@
+"""E-T3: regenerate paper Table III (the platform inventory)."""
+
+from repro.experiments import check_table3
+from repro.machines import paper_machines
+
+
+def _render() -> str:
+    lines = ["Table III - platforms"]
+    for machine in paper_machines():
+        lines.append(machine.describe())
+    return "\n".join(lines)
+
+
+def test_table3_reproduction(benchmark, printed):
+    checks = benchmark(check_table3)
+    if "table3" not in printed:
+        printed.add("table3")
+        print("\n" + _render())
+    assert all(c.ok for c in checks)

@@ -1,0 +1,12 @@
+"""E-TIX: regenerate paper Table IX (SNAP case study) on all machines.
+
+Rows: observed bandwidth, loaded latency, per-core MSHRQ occupancy, and
+the speedup of each optimization the paper applies, compared against
+the transcribed paper values within the DESIGN.md tolerance bands.
+"""
+
+from _casestudy import run_table_bench
+
+
+def test_snap_case_study(benchmark, printed):
+    run_table_bench(benchmark, printed, "snap")

@@ -1,0 +1,23 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_*`` module regenerates one paper artifact (table or
+figure).  Benchmarks print the regenerated rows once (so the harness
+output doubles as the reproduction report) and time the regeneration
+with pytest-benchmark.  Slow simulator-backed experiments use
+``benchmark.pedantic`` with one round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pedantic_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` with a single round (for simulator-scale work)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def printed():
+    """Session-level guard so each table prints exactly once."""
+    return set()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Using the library on *your* measurements (no simulator involved).
+
+Shows the adoption path for real systems:
+
+1. paste ``perf stat``-style counter output (or a CSV export from any
+   profiler) into the ingestion layer,
+2. get per-routine MLP analyses and recipe guidance back,
+3. print the machine's headroom map — the Figure-1 flowchart as a
+   lookup table — so you can see where your routines sit at a glance.
+
+Run:  python examples/ingest_measurements.py
+"""
+
+from repro.core import headroom_map, render_headroom_map
+from repro.io import analyze_measurements, from_csv, from_perf_output
+from repro.machines import get_machine
+
+#: A CrayPat/likwid-style per-routine CSV export (the paper's Table IV/V
+#: base measurements, as a user would record them).
+CSV_EXPORT = """\
+routine,bandwidth_gbs,prefetch_fraction
+count_local_keys,106.9,0.05
+ComputeSPMV_ref,109.9,0.80
+dim3_sweep,58.2,0.45
+"""
+
+#: Raw `perf stat` output for one routine on SKL (1.35 s run).
+PERF_OUTPUT = """
+ Performance counter stats for './pennant leblanc.pnt':
+
+     799,407,104      OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL
+      42,105,000      OFFCORE_RESPONSE_1:PF_ANY:L3_MISS_LOCAL
+  94,382,227,192      INST_RETIRED.ANY
+"""
+
+
+def main() -> None:
+    skl = get_machine("skl")
+
+    print("=== per-routine CSV ingestion ===\n")
+    for report in analyze_measurements(skl, from_csv(CSV_EXPORT)):
+        print(report.render())
+        print()
+
+    print("=== raw perf-output ingestion ===\n")
+    measurement = from_perf_output(
+        PERF_OUTPUT, skl, elapsed_seconds=1.35, routine="setCornerDiv"
+    )
+    print(
+        f"parsed: {measurement.bandwidth_bytes / 1e9:.1f} GB/s, "
+        f"prefetch fraction {measurement.prefetch_fraction:.0%}\n"
+    )
+    for report in analyze_measurements(skl, [measurement]):
+        print(report.render())
+
+    print("\n=== where routines sit: the recipe verdict map ===\n")
+    print(render_headroom_map(headroom_map(skl)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The full closed loop on ISx/KNL: measure → recipe → apply → confirm.
+
+This example never consults the paper's numbers.  It drives the ISx
+trace through the cache/MSHR simulator (the counter substrate), derives
+MLP through a *measured* X-Mem profile, follows the Figure-1 recipe to
+the L2-software-prefetch recommendation, applies the transform to the
+trace, and re-simulates to confirm the speedup and the L1→L2 MSHR
+bottleneck migration the paper validated on a cycle-level simulator.
+
+Run:  python examples/optimize_isx_knl.py
+"""
+
+from repro.core import OptimizationKind, RecipeContext, RoutineAnalyzer
+from repro.machines import get_machine
+from repro.sim import SimConfig, run_trace
+from repro.workloads import get_workload
+from repro.workloads.base import TraceSpec
+from repro.xmem import XMemConfig, characterize_machine
+
+
+def main() -> None:
+    knl = get_machine("knl")
+    workload = get_workload("isx")
+    spec = TraceSpec(threads=2, accesses_per_thread=4000)
+
+    def simulate(steps=()):
+        trace = workload.generate_trace(knl, steps=steps, spec=spec)
+        cfg = SimConfig(machine=knl, sim_cores=2, window_per_core=14)
+        return run_trace(trace, cfg)
+
+    print("== step 1: characterize KNL (once per machine) ==")
+    profile = characterize_machine(
+        knl, XMemConfig(levels=8, accesses_per_thread=2000)
+    )
+    print(
+        f"profile: idle {profile.idle_latency_ns:.0f} ns, "
+        f"max {profile.max_measured_bw_bytes / 1e9:.0f} GB/s\n"
+    )
+
+    print("== step 2: run base ISx and analyze ==")
+    base = simulate()
+    analyzer = RoutineAnalyzer(knl, profile)
+    report = analyzer.analyze_run(base)
+    print(report.render())
+    print(
+        f"\nsimulator ground truth: L1 MSHRQ full {base.mshr_full_fraction(1):.0%} "
+        f"of the time; L1 occ {base.avg_occupancy(1):.1f}, "
+        f"L2 occ {base.avg_occupancy(2):.1f}\n"
+    )
+
+    top = report.decision.top_recommendation()
+    assert top is not None and top.kind is OptimizationKind.SW_PREFETCH_L2, (
+        "recipe should recommend the L2 software-prefetch shift"
+    )
+    print(f"== step 3: apply the recommendation ({top.info.name}) ==\n")
+
+    optimized = simulate(steps=("l2_prefetch",))
+    speedup = base.elapsed_ns / optimized.elapsed_ns
+    print(
+        f"speedup: {speedup:.2f}x "
+        f"(paper Table IV measured 1.4x on real KNL hardware)"
+    )
+    print(
+        f"L1 MSHRQ full: {base.mshr_full_fraction(1):.0%} -> "
+        f"{optimized.mshr_full_fraction(1):.0%}"
+    )
+    print(
+        f"L2 occupancy:  {base.avg_occupancy(2):.1f} -> "
+        f"{optimized.avg_occupancy(2):.1f} "
+        "(the bottleneck migrated to the larger L2 MSHR file)"
+    )
+
+    print("\n== step 4: re-analyze the optimized code ==")
+    ctx = RecipeContext(applied=frozenset({OptimizationKind.SW_PREFETCH_L2}))
+    report2 = analyzer.analyze_run(optimized, context=ctx)
+    print(report2.render())
+
+
+if __name__ == "__main__":
+    main()

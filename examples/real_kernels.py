@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run the executable mini-apps: real kernels, verified, then analyzed.
+
+Each of the six paper applications is *implemented* at reduced scale in
+``repro.apps``. This example runs every kernel, checks its numerical
+result, feeds its actual address stream through the simulator, and
+lets the analyzer classify it — real data structures driving the whole
+pipeline, no synthetic access statistics anywhere.
+
+Run:  python examples/real_kernels.py
+"""
+
+from repro.apps import (
+    ComdApp,
+    DgemmApp,
+    HpcgApp,
+    IsxApp,
+    MinighostApp,
+    PennantApp,
+    SnapApp,
+)
+from repro.core import RoutineAnalyzer
+from repro.machines import get_machine
+from repro.sim import SimConfig, run_trace
+
+
+def main() -> None:
+    skl = get_machine("skl")
+    analyzer = RoutineAnalyzer(skl)
+
+    apps = [
+        (IsxApp(keys_per_thread=2000), {}),
+        (HpcgApp(n=8), {"max_rows": 300}),
+        (PennantApp(), {"max_corners": 3500}),
+        (ComdApp(particles=400), {}),
+        (MinighostApp(), {"max_cells": 400}),
+        (SnapApp(), {"max_cells": 120}),
+        (DgemmApp(), {}),  # the paper's unroll-and-jam illustration
+    ]
+    for app, kwargs in apps:
+        name = type(app).__name__.replace("App", "")
+        verified = app.verify()
+        trace = app.extract_trace(skl, **kwargs)
+        stats = run_trace(
+            trace, SimConfig(machine=skl, sim_cores=2, window_per_core=14)
+        )
+        report = analyzer.analyze_run(stats)
+        print(f"=== {name}: kernel verified = {verified} ===")
+        print(
+            f"  simulated: {trace.total_accesses} accesses, "
+            f"prefetch coverage {stats.memory.prefetch_fraction:.0%}, "
+            f"L1/L2 MSHR occupancy {stats.avg_occupancy(1):.2f}/"
+            f"{stats.avg_occupancy(2):.2f}"
+        )
+        print(f"  classified: {report.classification.pattern.value}, "
+              f"binding L{report.decision.binding_level}, "
+              f"n_avg {report.mlp.n_avg:.2f}")
+        top = report.decision.top_recommendation()
+        if top is not None:
+            print(f"  recipe: try {top.info.name} ({top.benefit.name.lower()})")
+        else:
+            print("  recipe: stop")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Paper Figure 2: why the classic roofline misleads on ISx/KNL.
+
+Draws (as ASCII) the KNL roofline with the paper's extra L1-MSHR
+ceiling, places the base and optimized ISx points, and prints the
+argument: the classic model promises big SMT headroom, the MSHR ceiling
+says the core is already pinned — and L2 software prefetching is what
+actually breaks through.
+
+Run:  python examples/roofline_vs_recipe.py
+"""
+
+import math
+
+from repro.experiments import reproduce_figure2
+
+
+def ascii_roofline(fig2, width: int = 64, height: int = 18) -> str:
+    """Log-log sketch of the classic roof, the ceiling, and the points."""
+    xs = [x for x, _, _ in fig2.series]
+    lo_x, hi_x = math.log10(min(xs)), math.log10(max(xs))
+    ys = [c for _, c, _ in fig2.series] + [
+        fig2.point_base.performance_gflops,
+        fig2.point_optimized.performance_gflops,
+    ]
+    lo_y, hi_y = math.log10(min(ys) / 2), math.log10(max(ys) * 2)
+
+    def col(x):
+        return int((math.log10(x) - lo_x) / (hi_x - lo_x) * (width - 1))
+
+    def row(y):
+        return height - 1 - int(
+            (math.log10(y) - lo_y) / (hi_y - lo_y) * (height - 1)
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, classic, extended in fig2.series:
+        grid[row(classic)][col(x)] = "-"
+        if extended < classic:
+            grid[row(extended)][col(x)] = "."
+    for label, point in (("O", fig2.point_base), ("1", fig2.point_optimized)):
+        grid[row(point.performance_gflops)][col(point.intensity_flops_per_byte)] = label
+    lines = ["".join(r) for r in grid]
+    lines.append("-" * width)
+    lines.append(
+        "x: arithmetic intensity (log)   '-' classic roofline   "
+        "'.' L1-MSHR ceiling   O base   1 optimized"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    fig2 = reproduce_figure2()
+    print(fig2.render())
+    print()
+    print(ascii_roofline(fig2))
+    print()
+    headroom = fig2.extended.roofline.headroom(fig2.point_base)
+    print(
+        f"classic roofline headroom for the base point: {headroom:.1f}x "
+        "(misleading - 4-way SMT actually degrades performance)"
+    )
+    print(
+        "the MSHR ceiling explains the stall and names the fix: "
+        "move outstanding requests to the L2 MSHR file"
+    )
+
+
+if __name__ == "__main__":
+    main()

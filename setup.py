@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline test environment lacks ``wheel``, so PEP 660 editable
+installs (``pip install -e .``) cannot build. ``python setup.py develop``
+(or ``pip install -e . --no-build-isolation --no-use-pep517``) works with
+this shim; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

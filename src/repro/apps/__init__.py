@@ -1,0 +1,33 @@
+"""Executable mini-apps: real kernels, verified results, real traces.
+
+One level more faithful than the statistical generators in
+:mod:`repro.workloads`: these modules *run* reduced-scale versions of
+the paper's applications (bucket sort, 27-point SpMV, corner gathers,
+cell-list forces, a transport sweep, a 27-point stencil), verify their
+numerical results, and extract the kernels' actual address streams for
+the simulator.
+"""
+
+from .common import AddressSpace, TraceRecorder, build_trace, partition
+from .comd_app import ComdApp
+from .dgemm_app import DgemmApp
+from .hpcg_app import HpcgApp, build_27pt_csr
+from .isx_app import IsxApp
+from .minighost_app import MinighostApp
+from .pennant_app import PennantApp
+from .snap_app import SnapApp
+
+__all__ = [
+    "AddressSpace",
+    "ComdApp",
+    "DgemmApp",
+    "HpcgApp",
+    "IsxApp",
+    "MinighostApp",
+    "PennantApp",
+    "SnapApp",
+    "TraceRecorder",
+    "build_27pt_csr",
+    "build_trace",
+    "partition",
+]

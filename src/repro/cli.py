@@ -1,0 +1,279 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``repro machines`` — list the Table III platforms;
+* ``repro characterize --machine skl [--out profile.json]`` — run the
+  X-Mem substitute and print/save the latency profile (the
+  once-per-machine prerequisite);
+* ``repro analyze --machine skl --bandwidth 106.9 --pattern random`` —
+  per-routine analysis: MLP, binding MSHR file, recipe guidance;
+* ``repro reproduce [--table isx|hpcg|...|all]`` — regenerate the paper
+  case-study tables and the agreement summary;
+* ``repro figure2`` — the extended-roofline experiment;
+* ``repro recipe-score`` — Figure 1 aggregate accuracy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.analyzer import RoutineAnalyzer
+from .core.classify import AccessPattern, Classification
+from .errors import ReproError
+from .machines.registry import get_machine, machine_names, paper_machines
+from .xmem.runner import XMemConfig, characterize_machine
+
+
+def _cmd_machines(_: argparse.Namespace) -> int:
+    for machine in paper_machines():
+        print(machine.describe())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    config = XMemConfig(levels=args.levels)
+    profile = characterize_machine(machine, config)
+    print(
+        f"latency profile for {machine.name} "
+        f"({len(profile.points)} samples, source={profile.source})"
+    )
+    for point in profile.points:
+        print(f"  {point.bandwidth_gbs:8.1f} GB/s -> {point.latency_ns:6.1f} ns")
+    if args.out:
+        profile.save(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    analyzer = RoutineAnalyzer(machine)
+    pattern = AccessPattern(args.pattern)
+    classification = Classification(
+        pattern=pattern,
+        prefetch_fraction=float("nan"),
+        rationale=f"user-specified pattern: {pattern.value}",
+    )
+    report = analyzer.analyze_bandwidth_gbs(
+        args.bandwidth, routine=args.routine, classification=classification
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .io import analyze_measurements, from_csv, from_perf_output
+
+    machine = get_machine(args.machine)
+    text = Path(args.file).read_text()
+    if args.format == "csv":
+        measurements = from_csv(text)
+    else:
+        if args.seconds is None:
+            print("error: --seconds is required for perf input", file=sys.stderr)
+            return 2
+        measurements = [
+            from_perf_output(
+                text, machine, elapsed_seconds=args.seconds, routine=args.routine
+            )
+        ]
+    for report in analyze_measurements(machine, measurements):
+        print(report.render())
+        print()
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.harness import reproduce_all_tables, reproduce_table
+
+    if args.json:
+        from .experiments.export import export_json
+
+        export_json(args.json)
+        print(f"wrote reproduction data to {args.json}")
+        return 0
+
+    if args.table == "all":
+        tables = reproduce_all_tables()
+    else:
+        tables = {args.table: reproduce_table(args.table)}
+    ok = True
+    for name, table in tables.items():
+        print(table.render())
+        print()
+        ok = ok and table.all_ok
+    print("overall:", "all rows within tolerance" if ok else "SOME ROWS OUT OF BAND")
+    return 0 if ok else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim import SimConfig, run_trace
+    from .workloads import get_workload
+    from .workloads.base import TraceSpec
+
+    machine = get_machine(args.machine)
+    workload = get_workload(args.workload)
+    steps = tuple(args.steps.split(",")) if args.steps else ()
+    trace = workload.generate_trace(
+        machine,
+        steps=steps,
+        spec=TraceSpec(threads=args.cores, accesses_per_thread=args.accesses),
+    )
+    stats = run_trace(
+        trace,
+        SimConfig(
+            machine=machine, sim_cores=args.cores, window_per_core=args.window
+        ),
+    )
+    label = "+ " + ", ".join(steps) if steps else "base"
+    print(
+        f"simulated {workload.routine} ({label}) on a {args.cores}-core "
+        f"{machine.name} slice:"
+    )
+    print(
+        f"  elapsed {stats.elapsed_ns / 1e3:.1f} us, "
+        f"slice bandwidth {stats.bandwidth_bytes_per_s() / 1e9:.1f} GB/s"
+    )
+    print(
+        f"  L1 MSHR occ {stats.avg_occupancy(1):.2f} "
+        f"(full {stats.mshr_full_fraction(1):.0%} of time), "
+        f"L2 MSHR occ {stats.avg_occupancy(2):.2f}"
+    )
+    print(f"  prefetch fraction {stats.memory.prefetch_fraction:.0%}")
+    print()
+    report = RoutineAnalyzer(machine).analyze_run(stats)
+    print(report.render())
+    return 0
+
+
+def _cmd_headroom(args: argparse.Namespace) -> int:
+    from .core.sweep import headroom_map, render_headroom_map
+
+    machine = get_machine(args.machine)
+    print(f"recipe verdict map for {machine.describe()}\n")
+    print(render_headroom_map(headroom_map(machine)))
+    return 0
+
+
+def _cmd_figure2(_: argparse.Namespace) -> int:
+    from .experiments.figure2 import reproduce_figure2
+
+    print(reproduce_figure2().render())
+    return 0
+
+
+def _cmd_recipe_score(_: argparse.Namespace) -> int:
+    from .experiments.figure1 import reproduce_figure1
+
+    fig1 = reproduce_figure1()
+    print(fig1.render())
+    return 0 if fig1.unexplained_disagreements == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLP/Little's-law performance analysis "
+        "(ISPASS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list modeled platforms").set_defaults(
+        func=_cmd_machines
+    )
+
+    p_char = sub.add_parser("characterize", help="measure a latency profile")
+    p_char.add_argument("--machine", required=True, choices=machine_names())
+    p_char.add_argument("--levels", type=int, default=12, help="load levels")
+    p_char.add_argument("--out", help="save profile JSON here")
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_an = sub.add_parser("analyze", help="analyze one routine measurement")
+    p_an.add_argument("--machine", required=True, choices=machine_names())
+    p_an.add_argument(
+        "--bandwidth", type=float, required=True, help="observed GB/s"
+    )
+    p_an.add_argument(
+        "--pattern",
+        choices=[p.value for p in AccessPattern],
+        default="streaming",
+        help="access pattern (decides the binding MSHR file)",
+    )
+    p_an.add_argument("--routine", default="kernel")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_ing = sub.add_parser(
+        "ingest", help="analyze measured counter data (CSV or perf output)"
+    )
+    p_ing.add_argument("--machine", required=True, choices=machine_names())
+    p_ing.add_argument("--file", required=True, help="measurement file")
+    p_ing.add_argument("--format", choices=["csv", "perf"], default="csv")
+    p_ing.add_argument(
+        "--seconds", type=float, help="elapsed time (perf format only)"
+    )
+    p_ing.add_argument("--routine", default="kernel")
+    p_ing.set_defaults(func=_cmd_ingest)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate paper tables")
+    p_rep.add_argument(
+        "--table",
+        default="all",
+        choices=["all", "isx", "hpcg", "pennant", "comd", "minighost", "snap"],
+    )
+    p_rep.add_argument(
+        "--json", help="write the full reproduction (tables + figures) as JSON"
+    )
+    p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_sim = sub.add_parser(
+        "simulate", help="run a workload trace on the simulator and analyze it"
+    )
+    p_sim.add_argument("--machine", required=True, choices=machine_names())
+    p_sim.add_argument(
+        "--workload",
+        required=True,
+        choices=["isx", "hpcg", "pennant", "comd", "minighost", "snap"],
+    )
+    p_sim.add_argument(
+        "--steps", default="", help="comma-separated transforms, e.g. l2_prefetch"
+    )
+    p_sim.add_argument("--cores", type=int, default=2, help="simulated cores")
+    p_sim.add_argument("--accesses", type=int, default=3000, help="per thread")
+    p_sim.add_argument("--window", type=int, default=14, help="per-core window")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_head = sub.add_parser(
+        "headroom", help="recipe verdict map across utilizations/patterns"
+    )
+    p_head.add_argument("--machine", required=True, choices=machine_names())
+    p_head.set_defaults(func=_cmd_headroom)
+
+    sub.add_parser("figure2", help="extended-roofline experiment").set_defaults(
+        func=_cmd_figure2
+    )
+    sub.add_parser(
+        "recipe-score", help="Figure 1 recipe-accuracy summary"
+    ).set_defaults(func=_cmd_recipe_score)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Performance-counter facade: vendor events, Table I visibility, CrayPat."""
+
+from .craypat import RoutineProfile, RoutineReport
+from .events import CounterEvent, NativeEvent, VENDOR_EVENTS, events_supported
+from .session import LATENCY_THRESHOLDS, CounterReading, CounterSession
+from .vendor import (
+    TABLE1_ROW_OF,
+    VendorVisibility,
+    Visibility,
+    table1_matrix,
+    vendor_for_machine,
+    visibility_for,
+)
+
+__all__ = [
+    "CounterEvent",
+    "CounterReading",
+    "CounterSession",
+    "LATENCY_THRESHOLDS",
+    "NativeEvent",
+    "RoutineProfile",
+    "RoutineReport",
+    "TABLE1_ROW_OF",
+    "VENDOR_EVENTS",
+    "VendorVisibility",
+    "Visibility",
+    "events_supported",
+    "table1_matrix",
+    "vendor_for_machine",
+    "visibility_for",
+]

@@ -1,0 +1,174 @@
+"""Performance-event definitions across vendors.
+
+Models the real-world mess the paper complains about (Section I,
+Table I): each vendor exposes a different set of events under different
+names, and some events simply do not exist on some parts.  A
+:class:`CounterEvent` is the abstract quantity; :data:`VENDOR_EVENTS`
+maps each vendor's native event names onto the abstract events it
+actually supports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+
+class CounterEvent(enum.Enum):
+    """Abstract hardware events the library knows how to derive."""
+
+    #: Cache-line reads that left the last private/shared cache for memory.
+    MEM_READ_LINES = "mem_read_lines"
+    #: Cache-line writes (incl. writebacks) that reached memory.
+    MEM_WRITE_LINES = "mem_write_lines"
+    #: Lines fetched by the hardware prefetcher.
+    HW_PREFETCH_LINES = "hw_prefetch_lines"
+    #: Cycles stalled because the L1 MSHR queue was full.
+    L1_MSHR_FULL_STALLS = "l1_mshr_full_stalls"
+    #: Cycles stalled because the L2 MSHR queue was full.
+    L2_MSHR_FULL_STALLS = "l2_mshr_full_stalls"
+    #: Loads whose latency exceeded a threshold (Intel PEBS-style bins).
+    LOAD_LATENCY_GT_THRESHOLD = "load_latency_gt_threshold"
+    #: Average memory latency derived metric (where the vendor offers one).
+    AVG_MEM_LATENCY = "avg_mem_latency"
+    #: Retired instructions (for TMA slot accounting).
+    INSTRUCTIONS_RETIRED = "instructions_retired"
+    #: Core clock cycles.
+    CPU_CYCLES = "cpu_cycles"
+    #: L1D misses (demand).
+    L1D_MISSES = "l1d_misses"
+    #: L2 misses (demand).
+    L2_MISSES = "l2_misses"
+
+
+@dataclass(frozen=True)
+class NativeEvent:
+    """A vendor's native name for an abstract event."""
+
+    vendor: str
+    native_name: str
+    event: CounterEvent
+    #: Notes on known inaccuracies (the paper documents several).
+    caveat: str = ""
+
+
+def _intel_skl() -> Tuple[NativeEvent, ...]:
+    return (
+        NativeEvent(
+            "intel-skl",
+            "OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL",
+            CounterEvent.MEM_READ_LINES,
+            caveat=(
+                "Does not include L3 writebacks; includes page-table-walk "
+                "traffic (paper footnote 4)."
+            ),
+        ),
+        NativeEvent("intel-skl", "L2_RQSTS.MISS", CounterEvent.L2_MISSES),
+        NativeEvent("intel-skl", "L1D.REPLACEMENT", CounterEvent.L1D_MISSES),
+        NativeEvent(
+            "intel-skl",
+            "L1D_PEND_MISS.FB_FULL",
+            CounterEvent.L1_MSHR_FULL_STALLS,
+            caveat="Fill-buffer (L1 MSHR) full stalls only; no L2 equivalent.",
+        ),
+        NativeEvent(
+            "intel-skl",
+            "MEM_TRANS_RETIRED.LOAD_LATENCY_GT_*",
+            CounterEvent.LOAD_LATENCY_GT_THRESHOLD,
+            caveat=(
+                "'Reported latency may be longer than just the memory "
+                "latency' (Intel); includes re-dispatch and TLB walks."
+            ),
+        ),
+        NativeEvent("intel-skl", "INST_RETIRED.ANY", CounterEvent.INSTRUCTIONS_RETIRED),
+        NativeEvent("intel-skl", "CPU_CLK_UNHALTED.THREAD", CounterEvent.CPU_CYCLES),
+        NativeEvent(
+            "intel-skl",
+            "OFFCORE_RESPONSE_1:PF_ANY:L3_MISS_LOCAL",
+            CounterEvent.HW_PREFETCH_LINES,
+        ),
+    )
+
+
+def _intel_knl() -> Tuple[NativeEvent, ...]:
+    return (
+        NativeEvent(
+            "intel-knl",
+            "OFFCORE_RESPONSE_0:ANY_REQUEST:MCDRAM",
+            CounterEvent.MEM_READ_LINES,
+            caveat="Flat-mode MCDRAM traffic; DDR counted separately.",
+        ),
+        NativeEvent(
+            "intel-knl",
+            "OFFCORE_RESPONSE_1:ANY_REQUEST:DDR",
+            CounterEvent.MEM_WRITE_LINES,
+            caveat="Paper sums MCDRAM+DDR offcore responses for bandwidth.",
+        ),
+        NativeEvent("intel-knl", "L2_REQUESTS.MISS", CounterEvent.L2_MISSES),
+        NativeEvent("intel-knl", "INST_RETIRED.ANY", CounterEvent.INSTRUCTIONS_RETIRED),
+        NativeEvent("intel-knl", "CPU_CLK_UNHALTED.THREAD", CounterEvent.CPU_CYCLES),
+        NativeEvent(
+            "intel-knl",
+            "L1D_PEND_MISS.FB_FULL",
+            CounterEvent.L1_MSHR_FULL_STALLS,
+        ),
+    )
+
+
+def _amd() -> Tuple[NativeEvent, ...]:
+    return (
+        NativeEvent("amd", "LS_REFILLS_FROM_SYS.MEM_IO_LOCAL", CounterEvent.MEM_READ_LINES),
+        NativeEvent("amd", "L2_CACHE_MISS", CounterEvent.L2_MISSES),
+        NativeEvent(
+            "amd",
+            "LS_MAB_ALLOC_PIPE_FULL",
+            CounterEvent.L1_MSHR_FULL_STALLS,
+            caveat="Miss-address-buffer (L1 MSHR) allocation stalls.",
+        ),
+        NativeEvent("amd", "RETIRED_INSTRUCTIONS", CounterEvent.INSTRUCTIONS_RETIRED),
+        NativeEvent("amd", "CYCLES_NOT_IN_HALT", CounterEvent.CPU_CYCLES),
+    )
+
+
+def _cavium() -> Tuple[NativeEvent, ...]:
+    return (
+        NativeEvent("cavium", "MEM_ACCESS_RD", CounterEvent.MEM_READ_LINES),
+        NativeEvent("cavium", "MEM_ACCESS_WR", CounterEvent.MEM_WRITE_LINES),
+        NativeEvent("cavium", "INST_RETIRED", CounterEvent.INSTRUCTIONS_RETIRED),
+        NativeEvent("cavium", "CPU_CYCLES", CounterEvent.CPU_CYCLES),
+    )
+
+
+def _fujitsu() -> Tuple[NativeEvent, ...]:
+    return (
+        NativeEvent(
+            "fujitsu",
+            "BUS_READ_TOTAL_MEM",
+            CounterEvent.MEM_READ_LINES,
+            caveat="Counts 256B-line memory reads on A64FX.",
+        ),
+        NativeEvent("fujitsu", "BUS_WRITE_TOTAL_MEM", CounterEvent.MEM_WRITE_LINES),
+        NativeEvent("fujitsu", "L2_MISS_COUNT", CounterEvent.L2_MISSES),
+        NativeEvent("fujitsu", "INST_RETIRED", CounterEvent.INSTRUCTIONS_RETIRED),
+        NativeEvent("fujitsu", "CPU_CYCLES", CounterEvent.CPU_CYCLES),
+    )
+
+
+#: Every native event each vendor exposes, keyed by vendor id.
+VENDOR_EVENTS: Mapping[str, Tuple[NativeEvent, ...]] = {
+    "intel-skl": _intel_skl(),
+    "intel-knl": _intel_knl(),
+    "amd": _amd(),
+    "cavium": _cavium(),
+    "fujitsu": _fujitsu(),
+}
+
+
+def events_supported(vendor: str) -> Dict[CounterEvent, NativeEvent]:
+    """Abstract events a vendor supports, with their native spellings."""
+    natives = VENDOR_EVENTS.get(vendor, ())
+    out: Dict[CounterEvent, NativeEvent] = {}
+    for native in natives:
+        out.setdefault(native.event, native)
+    return out

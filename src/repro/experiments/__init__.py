@@ -1,0 +1,107 @@
+"""Experiment harnesses: one per paper table/figure (see DESIGN.md §4)."""
+
+from .ablation import (
+    DEFAULT_THRESHOLDS,
+    PerturbationResult,
+    PrefetchDistancePoint,
+    latency_curve_perturbation,
+    prefetch_distance_sweep,
+    scaled_latency_curves,
+    threshold_sweep,
+)
+from .cross_validation import (
+    CrossValidationRow,
+    cross_validate,
+    render_cross_validation,
+)
+from .figure1 import DecisionTrace, Figure1Reproduction, reproduce_figure1
+from .figure2 import Figure2Reproduction, reproduce_figure2
+from .harness import (
+    BW_TOLERANCE,
+    KNOWN_EXCEPTIONS,
+    N_AVG_TOLERANCE,
+    RecipeScore,
+    RowComparison,
+    SPEEDUP_TOLERANCE,
+    TableReproduction,
+    reproduce_all_tables,
+    reproduce_table,
+    score_recipe,
+)
+from .intro_snap import (
+    IntroSnapReproduction,
+    LatencyCounterDemo,
+    reproduce_intro_snap,
+    reproduce_latency_counter_demo,
+)
+from .paperdata import (
+    CASE_STUDY_TABLES,
+    FIGURE2,
+    INTRO_SNAP,
+    TABLE_NUMBER,
+    PaperRow,
+    base_row,
+    rows_for,
+)
+from .smt_contention import (
+    ContentionResult,
+    contention_survey,
+    measure_contention,
+)
+from .stall_validation import StallMigration, reproduce_stall_migration
+from .tables import (
+    StructuralCheck,
+    all_structural_checks,
+    check_table1,
+    check_table2,
+    check_table3,
+)
+
+__all__ = [
+    "BW_TOLERANCE",
+    "DEFAULT_THRESHOLDS",
+    "PerturbationResult",
+    "PrefetchDistancePoint",
+    "ContentionResult",
+    "contention_survey",
+    "measure_contention",
+    "CrossValidationRow",
+    "cross_validate",
+    "render_cross_validation",
+    "latency_curve_perturbation",
+    "prefetch_distance_sweep",
+    "scaled_latency_curves",
+    "threshold_sweep",
+    "CASE_STUDY_TABLES",
+    "DecisionTrace",
+    "FIGURE2",
+    "Figure1Reproduction",
+    "Figure2Reproduction",
+    "INTRO_SNAP",
+    "IntroSnapReproduction",
+    "KNOWN_EXCEPTIONS",
+    "LatencyCounterDemo",
+    "N_AVG_TOLERANCE",
+    "PaperRow",
+    "RecipeScore",
+    "RowComparison",
+    "SPEEDUP_TOLERANCE",
+    "StallMigration",
+    "StructuralCheck",
+    "TABLE_NUMBER",
+    "TableReproduction",
+    "all_structural_checks",
+    "base_row",
+    "check_table1",
+    "check_table2",
+    "check_table3",
+    "reproduce_all_tables",
+    "reproduce_figure1",
+    "reproduce_figure2",
+    "reproduce_intro_snap",
+    "reproduce_latency_counter_demo",
+    "reproduce_stall_migration",
+    "reproduce_table",
+    "rows_for",
+    "score_recipe",
+]

@@ -1,0 +1,134 @@
+"""Experiment E-F1: paper Figure 1 — the recipe as a decision procedure.
+
+Figure 1 is a flowchart, so its reproduction is behavioural: walk every
+case-study row through :class:`repro.core.recipe.Recipe` and record the
+decision path (binding queue, occupancy verdict, bandwidth verdict,
+recommendation, expected benefit) next to the observed outcome.  The
+aggregate accuracy — how often "recipe expects benefit" matched
+"optimization helped" — is the headline number of the whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..machines.registry import paper_machines
+from ..perfmodel.casestudy import SPEEDUP_HELPED, run_case_study
+from ..workloads import ALL_WORKLOADS
+from .harness import KNOWN_EXCEPTIONS
+
+
+@dataclass(frozen=True)
+class DecisionTrace:
+    """One row's walk through the Figure-1 flowchart."""
+
+    workload: str
+    machine: str
+    source: str
+    step: str
+    binding_level: int
+    occupancy_ratio: float
+    status: str
+    bandwidth_saturated: bool
+    expected_benefit: str
+    expects_speedup: bool
+    observed_speedup: float
+    helped: bool
+    known_exception: Optional[str]
+
+    @property
+    def agrees(self) -> bool:
+        """Did the recipe's expectation match the observed outcome?"""
+        return self.expects_speedup == self.helped
+
+    def render(self) -> str:
+        """One table line for this decision trace."""
+        verdict = "agree" if self.agrees else (
+            "known-exception" if self.known_exception else "DISAGREE"
+        )
+        return (
+            f"{self.workload:<10s} {self.machine:<6s} {self.source:<22s} "
+            f"{self.step:<12s} L{self.binding_level} occ={self.occupancy_ratio:.0%} "
+            f"{self.status:<9s} sat={str(self.bandwidth_saturated):<5s} "
+            f"expect={self.expected_benefit:<11s} got {self.observed_speedup:.2f}x "
+            f"-> {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class Figure1Reproduction:
+    """All decision traces plus the aggregate score."""
+
+    traces: Tuple[DecisionTrace, ...]
+
+    @property
+    def total(self) -> int:
+        """Number of optimization rows walked through the recipe."""
+        return len(self.traces)
+
+    @property
+    def agreeing(self) -> int:
+        """Rows where the recipe's expectation matched the outcome."""
+        return sum(1 for t in self.traces if t.agrees)
+
+    @property
+    def known_exceptions(self) -> int:
+        """Disagreeing rows covered by paper-documented caveats."""
+        return sum(
+            1 for t in self.traces if not t.agrees and t.known_exception is not None
+        )
+
+    @property
+    def unexplained_disagreements(self) -> int:
+        """Disagreeing rows with no documented explanation (must be 0)."""
+        return self.total - self.agreeing - self.known_exceptions
+
+    @property
+    def accuracy(self) -> float:
+        """Agreement rate excluding the paper-documented caveat rows."""
+        denom = self.total - self.known_exceptions
+        return self.agreeing / denom if denom else 1.0
+
+    def render(self) -> str:
+        """The full decision-trace report with the accuracy summary."""
+        lines = ["Figure 1 reproduction - recipe decisions vs outcomes", ""]
+        lines.extend(t.render() for t in self.traces)
+        lines.append("")
+        lines.append(
+            f"accuracy: {self.agreeing}/{self.total - self.known_exceptions} "
+            f"({self.accuracy:.0%}) with {self.known_exceptions} "
+            "paper-documented contention exceptions"
+        )
+        return "\n".join(lines)
+
+
+def reproduce_figure1() -> Figure1Reproduction:
+    """Walk every case-study row through the recipe."""
+    machines = paper_machines()
+    traces: List[DecisionTrace] = []
+    for workload in ALL_WORKLOADS:
+        for res in run_case_study(workload, machines):
+            if res.step is None or res.speedup is None or res.recipe_benefit is None:
+                continue
+            exception = KNOWN_EXCEPTIONS.get(
+                (workload.name, res.machine, res.source_label, res.step)
+            )
+            traces.append(
+                DecisionTrace(
+                    workload=workload.name,
+                    machine=res.machine,
+                    source=res.source_label,
+                    step=res.step,
+                    binding_level=res.decision.binding_level,
+                    occupancy_ratio=res.decision.occupancy_ratio,
+                    status=res.decision.status.value,
+                    bandwidth_saturated=res.decision.bandwidth_saturated,
+                    expected_benefit=res.recipe_benefit.name,
+                    expects_speedup=res.recipe_benefit.expects_speedup,
+                    observed_speedup=res.speedup,
+                    helped=res.speedup >= SPEEDUP_HELPED,
+                    known_exception=exception,
+                )
+            )
+    return Figure1Reproduction(traces=tuple(traces))

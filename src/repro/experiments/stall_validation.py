@@ -1,0 +1,128 @@
+"""Experiment E-V1: ISx MSHR-stall migration (paper Section IV-A).
+
+The paper validates its ISx story "separately using Cray/HPE's
+proprietary cycle-level simulator: the original code leads to
+significant L1 MSHRQ full stalls, whereas the bottleneck is transferred
+to L2 MSHRQ after software prefetching".  Our discrete-event simulator
+plays that role: run the ISx trace with and without L2 software
+prefetching and watch
+
+* the L1 MSHR file go from pegged-full to relaxed,
+* the L2 MSHR occupancy take over as the busy queue,
+* bandwidth rise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.spec import MachineSpec
+from ..machines.registry import get_machine
+from ..sim.hierarchy import SimConfig, run_trace
+from ..sim.stats import SimStats
+from ..workloads import get_workload
+from ..workloads.base import TraceSpec
+
+
+@dataclass(frozen=True)
+class StallMigration:
+    """Before/after statistics for the ISx L2-prefetch validation."""
+
+    machine: MachineSpec
+    base: SimStats
+    prefetched: SimStats
+
+    @property
+    def base_l1_full_fraction(self) -> float:
+        """Fraction of time the base run's L1 MSHR file was full."""
+        return self.base.mshr_full_fraction(1)
+
+    @property
+    def prefetched_l1_full_fraction(self) -> float:
+        """Fraction of time the prefetched run's L1 MSHR file was full."""
+        return self.prefetched.mshr_full_fraction(1)
+
+    @property
+    def base_l1_occupancy(self) -> float:
+        """Base run's average per-core L1 MSHR occupancy."""
+        return self.base.avg_occupancy(1)
+
+    @property
+    def base_l2_occupancy(self) -> float:
+        """Base run's average per-core L2 MSHR occupancy."""
+        return self.base.avg_occupancy(2)
+
+    @property
+    def prefetched_l1_occupancy(self) -> float:
+        """Prefetched run's average per-core L1 MSHR occupancy."""
+        return self.prefetched.avg_occupancy(1)
+
+    @property
+    def prefetched_l2_occupancy(self) -> float:
+        """Prefetched run's average per-core L2 MSHR occupancy."""
+        return self.prefetched.avg_occupancy(2)
+
+    @property
+    def bottleneck_migrated(self) -> bool:
+        """The paper's claim: L1-full stalls collapse, L2 becomes the
+        busy queue, after L2 software prefetching."""
+        l1_relaxed = (
+            self.prefetched_l1_full_fraction < 0.5 * self.base_l1_full_fraction
+        )
+        l2_took_over = self.prefetched_l2_occupancy > self.base_l2_occupancy * 1.3
+        return l1_relaxed and l2_took_over
+
+    @property
+    def bandwidth_improved(self) -> bool:
+        """Prefetching raised achieved bandwidth materially (>8%).
+
+        The simulated slice saturates its scaled bandwidth cap earlier
+        than the real socket, so the threshold is below the paper's
+        full-machine 1.2-1.4x gains.
+        """
+        return (
+            self.prefetched.bandwidth_bytes_per_s()
+            > 1.08 * self.base.bandwidth_bytes_per_s()
+        )
+
+    def render(self) -> str:
+        """Before/after stall-migration summary."""
+        return "\n".join(
+            [
+                f"ISx stall-migration validation on {self.machine.name} "
+                "(cycle-level simulator substitute)",
+                f"  base:       L1 occ {self.base_l1_occupancy:5.2f}  "
+                f"L1 full {self.base_l1_full_fraction:5.1%}  "
+                f"L2 occ {self.base_l2_occupancy:5.2f}  "
+                f"BW {self.base.bandwidth_bytes_per_s() / 1e9:6.1f} GB/s (slice)",
+                f"  +l2-pref:   L1 occ {self.prefetched_l1_occupancy:5.2f}  "
+                f"L1 full {self.prefetched_l1_full_fraction:5.1%}  "
+                f"L2 occ {self.prefetched_l2_occupancy:5.2f}  "
+                f"BW {self.prefetched.bandwidth_bytes_per_s() / 1e9:6.1f} GB/s (slice)",
+                f"  bottleneck migrated L1 -> L2: {self.bottleneck_migrated}",
+                f"  bandwidth improved:           {self.bandwidth_improved}",
+            ]
+        )
+
+
+def reproduce_stall_migration(
+    machine_name: str = "knl",
+    *,
+    sim_cores: int = 2,
+    accesses_per_thread: int = 4000,
+) -> StallMigration:
+    """Run ISx base and +l2-pref traces on the simulator."""
+    machine = get_machine(machine_name)
+    workload = get_workload("isx")
+    spec = TraceSpec(threads=sim_cores, accesses_per_thread=accesses_per_thread)
+    # A 14-deep demand window per core: slightly more concurrency than
+    # the 12-entry L1 MSHR file, so the base run exposes MSHR-full
+    # stalls the way the paper's cycle-level simulator did.
+    cfg = SimConfig(machine=machine, sim_cores=sim_cores, window_per_core=14)
+
+    base_stats = run_trace(workload.generate_trace(machine, spec=spec), cfg)
+    pref_stats = run_trace(
+        workload.generate_trace(machine, steps=("l2_prefetch",), spec=spec),
+        SimConfig(machine=machine, sim_cores=sim_cores, window_per_core=14),
+    )
+    return StallMigration(machine=machine, base=base_stats, prefetched=pref_stats)

@@ -1,0 +1,35 @@
+"""GPU extension (paper §III-H): MSHR-occupancy guidance for kernels."""
+
+from .advisor import (
+    FULL_RATIO,
+    GpuAction,
+    GpuAdvisor,
+    GpuAnalysis,
+    GpuRecommendation,
+    LOW_RATIO,
+)
+from .model import (
+    GpuSpec,
+    KernelDescriptor,
+    OccupancyReport,
+    a100_like,
+    mshr_demand,
+    occupancy,
+    sustainable_bandwidth_bytes,
+)
+
+__all__ = [
+    "FULL_RATIO",
+    "GpuAction",
+    "GpuAdvisor",
+    "GpuAnalysis",
+    "GpuRecommendation",
+    "GpuSpec",
+    "KernelDescriptor",
+    "LOW_RATIO",
+    "OccupancyReport",
+    "a100_like",
+    "mshr_demand",
+    "occupancy",
+    "sustainable_bandwidth_bytes",
+]

@@ -1,0 +1,170 @@
+"""GPU MSHR-occupancy guidance — the paper's §III-H recommendations.
+
+The paper's sketch, made executable:
+
+* **low MSHRQ occupancy** → "increasing number of concurrent
+  threads/warps, which could be achieved by reducing register usage per
+  thread or amount of shared memory used per thread block" — the
+  advisor identifies the occupancy limiter and names the cut;
+* **high MSHRQ occupancy** → "(increased) use of shared memory to
+  improve performance" — i.e. reduce memory requests, the GPU analogue
+  of loop tiling;
+* additionally, poor coalescing inflates per-warp line demand, so the
+  advisor flags coalescing fixes before anything else when they apply.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .model import (
+    GpuSpec,
+    KernelDescriptor,
+    OccupancyReport,
+    mshr_demand,
+    occupancy,
+    sustainable_bandwidth_bytes,
+)
+
+#: MSHR fill fraction above which the file counts as the bottleneck.
+FULL_RATIO = 0.9
+#: Below this fill fraction there is clear room for more warps.
+LOW_RATIO = 0.5
+
+
+class GpuAction(enum.Enum):
+    """The §III-H action vocabulary."""
+
+    REDUCE_REGISTERS = "reduce_registers_per_thread"
+    REDUCE_SHARED_MEM = "reduce_shared_memory_per_block"
+    INCREASE_BLOCKS = "launch_more_blocks"
+    USE_SHARED_MEMORY = "use_shared_memory_for_reuse"
+    IMPROVE_COALESCING = "improve_coalescing"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class GpuRecommendation:
+    action: GpuAction
+    reason: str
+
+
+@dataclass(frozen=True)
+class GpuAnalysis:
+    """MSHR-occupancy analysis of one kernel on one GPU."""
+
+    gpu_name: str
+    kernel_name: str
+    occupancy: OccupancyReport
+    mshr_demand_per_sm: float
+    mshr_fill_ratio: float
+    sustainable_bw_gbs: float
+    bandwidth_bound: bool
+    recommendations: Tuple[GpuRecommendation, ...]
+
+    def render(self) -> str:
+        """Human-readable kernel analysis."""
+        lines = [
+            f"GPU analysis - {self.kernel_name} on {self.gpu_name}",
+            f"  active warps/SM: {self.occupancy.active_warps} "
+            f"(limited by {self.occupancy.limiter})",
+            f"  MSHR demand/SM: {self.mshr_demand_per_sm:.1f} "
+            f"({self.mshr_fill_ratio:.0%} of the file)",
+            f"  sustainable bandwidth: {self.sustainable_bw_gbs:.0f} GB/s"
+            + (" (bandwidth bound)" if self.bandwidth_bound else ""),
+        ]
+        for rec in self.recommendations:
+            lines.append(f"  -> {rec.action.value}: {rec.reason}")
+        return "\n".join(lines)
+
+
+class GpuAdvisor:
+    """Applies the §III-H occupancy rules."""
+
+    def __init__(self, gpu: GpuSpec) -> None:
+        self.gpu = gpu
+
+    def analyze(self, kernel: KernelDescriptor) -> GpuAnalysis:
+        """Analyze one kernel's MSHR occupancy and recommend actions."""
+        gpu = self.gpu
+        occ = occupancy(gpu, kernel)
+        demand = mshr_demand(gpu, kernel)
+        n_effective = min(demand, float(gpu.mshrs_per_sm))
+        fill = demand / gpu.mshrs_per_sm
+        bw = min(
+            sustainable_bandwidth_bytes(gpu, n_effective), gpu.peak_bw_bytes
+        )
+        bandwidth_bound = bw >= 0.95 * gpu.peak_bw_bytes
+
+        recs: List[GpuRecommendation] = []
+        if kernel.coalescing < 0.5:
+            recs.append(
+                GpuRecommendation(
+                    GpuAction.IMPROVE_COALESCING,
+                    f"only {kernel.coalescing:.0%} of each warp's accesses "
+                    "coalesce; scattered sectors burn MSHRs and bandwidth",
+                )
+            )
+        if fill >= FULL_RATIO:
+            recs.append(
+                GpuRecommendation(
+                    GpuAction.USE_SHARED_MEMORY,
+                    "MSHR file effectively full: cut memory requests via "
+                    "shared-memory reuse (the tiling analogue)",
+                )
+            )
+        elif fill <= LOW_RATIO and not bandwidth_bound:
+            if occ.limiter == "registers":
+                recs.append(
+                    GpuRecommendation(
+                        GpuAction.REDUCE_REGISTERS,
+                        f"occupancy is register-limited at {occ.active_warps} "
+                        "warps/SM; fewer registers per thread admit more warps "
+                        "and more outstanding misses",
+                    )
+                )
+            elif occ.limiter == "shared_memory":
+                recs.append(
+                    GpuRecommendation(
+                        GpuAction.REDUCE_SHARED_MEM,
+                        f"occupancy is shared-memory-limited at "
+                        f"{occ.active_warps} warps/SM; shrinking per-block "
+                        "usage admits more blocks",
+                    )
+                )
+            elif occ.limiter == "block_slots":
+                recs.append(
+                    GpuRecommendation(
+                        GpuAction.INCREASE_BLOCKS,
+                        "block-slot-limited: launch larger blocks to raise "
+                        "warps per SM",
+                    )
+                )
+            else:
+                recs.append(
+                    GpuRecommendation(
+                        GpuAction.INCREASE_BLOCKS,
+                        "warp slots free and MSHRs idle: raise per-warp MLP "
+                        "(unroll, vector loads) or launch more work",
+                    )
+                )
+        if not recs:
+            recs.append(
+                GpuRecommendation(
+                    GpuAction.NONE,
+                    "MSHR occupancy and bandwidth are balanced; no "
+                    "occupancy-driven change indicated",
+                )
+            )
+        return GpuAnalysis(
+            gpu_name=gpu.name,
+            kernel_name=kernel.name,
+            occupancy=occ,
+            mshr_demand_per_sm=demand,
+            mshr_fill_ratio=fill,
+            sustainable_bw_gbs=bw / 1e9,
+            bandwidth_bound=bandwidth_bound,
+            recommendations=tuple(recs),
+        )

@@ -1,0 +1,15 @@
+"""Measurement ingestion: CSV and perf-style counter output parsers."""
+
+from .measurements import (
+    RoutineMeasurement,
+    analyze_measurements,
+    from_csv,
+    from_perf_output,
+)
+
+__all__ = [
+    "RoutineMeasurement",
+    "analyze_measurements",
+    "from_csv",
+    "from_perf_output",
+]

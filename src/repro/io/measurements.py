@@ -1,0 +1,202 @@
+"""Measurement ingestion: feed *real* counter data into the analyzer.
+
+The paper's workflow on actual hardware starts from CrayPat/perf
+output.  This module lets a downstream user of the library do the same
+without touching the simulator:
+
+* :func:`from_csv` — per-routine rows
+  (``routine,bandwidth_gbs,prefetch_fraction``) as exported from any
+  profiler;
+* :func:`from_perf_output` — ``perf stat -x,``-style (CSV) or aligned
+  plain output: raw event counts are matched against the vendor's
+  native event names (:mod:`repro.counters.events`), converted to bytes
+  with the machine's line size, and divided by the elapsed time;
+* :func:`analyze_measurements` — batch the results through
+  :class:`~repro.core.analyzer.RoutineAnalyzer`.
+
+Only bandwidth-class events are required — the paper's portability
+argument — and unknown event lines are ignored rather than rejected, so
+real ``perf stat`` dumps paste in unmodified.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.analyzer import AnalysisReport, RoutineAnalyzer
+from ..counters.events import CounterEvent, VENDOR_EVENTS
+from ..counters.vendor import vendor_for_machine
+from ..errors import ConfigurationError
+from ..machines.spec import MachineSpec
+from ..memory.profile import LatencyProfile
+
+
+@dataclass(frozen=True)
+class RoutineMeasurement:
+    """One routine's measured bandwidth plus pattern evidence."""
+
+    routine: str
+    bandwidth_bytes: float
+    prefetch_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes < 0:
+            raise ConfigurationError("bandwidth must be >= 0")
+        if not 0.0 <= self.prefetch_fraction <= 1.0:
+            raise ConfigurationError("prefetch fraction must be in [0,1]")
+
+
+def from_csv(text: str) -> List[RoutineMeasurement]:
+    """Parse ``routine,bandwidth_gbs,prefetch_fraction`` rows.
+
+    A header row is detected (non-numeric second column) and skipped.
+    Blank lines and ``#`` comments are ignored.
+    """
+    measurements: List[RoutineMeasurement] = []
+    reader = csv.reader(io.StringIO(text))
+    for row in reader:
+        if not row or row[0].lstrip().startswith("#"):
+            continue
+        if len(row) < 3:
+            raise ConfigurationError(f"need 3 columns, got {row!r}")
+        try:
+            bw_gbs = float(row[1])
+            pf = float(row[2])
+        except ValueError:
+            continue  # header row
+        measurements.append(
+            RoutineMeasurement(
+                routine=row[0].strip(),
+                bandwidth_bytes=bw_gbs * 1e9,
+                prefetch_fraction=pf,
+            )
+        )
+    if not measurements:
+        raise ConfigurationError("no measurement rows found")
+    return measurements
+
+
+_PLAIN_LINE = re.compile(r"^\s*([\d,.]+)\s+(\S+)")
+
+
+def _parse_event_counts(text: str) -> Dict[str, float]:
+    """Extract (native event name -> count) from perf-style output.
+
+    Handles both ``perf stat -x,`` CSV (``count,unit,event,...``) and
+    the aligned human-readable format (``  1,234,567  EVENT_NAME``).
+    Lines that don't parse are skipped.
+    """
+    counts: Dict[str, float] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "," in stripped and not _PLAIN_LINE.match(line):
+            fields = stripped.split(",")
+            raw, event = fields[0], None
+            for candidate in fields[1:]:
+                if candidate and not candidate.replace(".", "").isdigit():
+                    event = candidate
+                    break
+            if event is None:
+                continue
+        else:
+            match = _PLAIN_LINE.match(line)
+            if not match:
+                continue
+            raw, event = match.group(1), match.group(2)
+        try:
+            value = float(raw.replace(",", ""))
+        except ValueError:
+            continue
+        counts[event.strip()] = counts.get(event.strip(), 0.0) + value
+    return counts
+
+
+#: Events that count toward memory bandwidth, with their traffic class.
+_BANDWIDTH_EVENTS = {
+    CounterEvent.MEM_READ_LINES: "demand",
+    CounterEvent.MEM_WRITE_LINES: "demand",
+    CounterEvent.HW_PREFETCH_LINES: "prefetch",
+}
+
+
+def from_perf_output(
+    text: str,
+    machine: MachineSpec,
+    *,
+    elapsed_seconds: float,
+    routine: str = "kernel",
+) -> RoutineMeasurement:
+    """Build a measurement from raw perf-style counter output.
+
+    Event names are matched against the machine vendor's native
+    spellings; ``*``-suffixed catalog names match as prefixes.
+    """
+    if elapsed_seconds <= 0:
+        raise ConfigurationError("elapsed time must be positive")
+    vendor = vendor_for_machine(machine.name)
+    natives = VENDOR_EVENTS.get(vendor, ())
+    counts = _parse_event_counts(text)
+    if not counts:
+        raise ConfigurationError("no counter lines recognized in input")
+
+    demand_lines = 0.0
+    prefetch_lines = 0.0
+    matched = False
+    for native in natives:
+        kind = _BANDWIDTH_EVENTS.get(native.event)
+        if kind is None:
+            continue
+        pattern = native.native_name
+        for event_name, value in counts.items():
+            if pattern.endswith("*"):
+                hit = event_name.startswith(pattern[:-1])
+            else:
+                hit = event_name == pattern
+            if hit:
+                matched = True
+                if kind == "prefetch":
+                    prefetch_lines += value
+                else:
+                    demand_lines += value
+    if not matched:
+        raise ConfigurationError(
+            f"no bandwidth events for vendor {vendor!r} found in input; "
+            "expected e.g. "
+            + ", ".join(
+                n.native_name
+                for n in natives
+                if n.event in _BANDWIDTH_EVENTS
+            )
+        )
+    total_lines = demand_lines + prefetch_lines
+    bandwidth = total_lines * machine.line_bytes / elapsed_seconds
+    prefetch_fraction = prefetch_lines / total_lines if total_lines else 0.0
+    return RoutineMeasurement(
+        routine=routine,
+        bandwidth_bytes=bandwidth,
+        prefetch_fraction=prefetch_fraction,
+    )
+
+
+def analyze_measurements(
+    machine: MachineSpec,
+    measurements: Sequence[RoutineMeasurement],
+    *,
+    profile: Optional[LatencyProfile] = None,
+) -> List[AnalysisReport]:
+    """Run each measurement through the per-routine analyzer."""
+    analyzer = RoutineAnalyzer(machine, profile)
+    return [
+        analyzer.analyze_bandwidth(
+            m.bandwidth_bytes,
+            routine=m.routine,
+            prefetch_fraction=m.prefetch_fraction,
+        )
+        for m in measurements
+    ]

@@ -1,0 +1,34 @@
+"""Machine models: the paper's Table III platforms as parametric specs."""
+
+from .a64fx import A64FX_LATENCY_CALIBRATION, a64fx
+from .future import hbm2e_concept, hbm3_concept, mshr_bound_fraction
+from .knl import KNL_LATENCY_CALIBRATION, knights_landing_7250
+from .registry import (
+    get_machine,
+    machine_names,
+    paper_machines,
+    register_machine,
+)
+from .skl import SKL_LATENCY_CALIBRATION, skylake_8160
+from .spec import CacheSpec, MachineSpec, MemorySpec, VectorSpec, make_machine
+
+__all__ = [
+    "A64FX_LATENCY_CALIBRATION",
+    "CacheSpec",
+    "KNL_LATENCY_CALIBRATION",
+    "MachineSpec",
+    "MemorySpec",
+    "SKL_LATENCY_CALIBRATION",
+    "VectorSpec",
+    "a64fx",
+    "get_machine",
+    "hbm2e_concept",
+    "hbm3_concept",
+    "mshr_bound_fraction",
+    "knights_landing_7250",
+    "machine_names",
+    "make_machine",
+    "paper_machines",
+    "register_machine",
+    "skylake_8160",
+]

@@ -1,0 +1,74 @@
+"""Lookup of machine specs by name.
+
+The registry is intentionally tiny: the paper evaluates on exactly three
+machines.  Users can register their own machines (e.g. to model an
+HBM2e/3 part, paper Section IV-G) with :func:`register_machine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError, UnknownMachineError
+from .a64fx import a64fx
+from .future import hbm2e_concept, hbm3_concept
+from .knl import knights_landing_7250
+from .skl import skylake_8160
+from .spec import MachineSpec
+
+_FACTORIES: Dict[str, Callable[[], MachineSpec]] = {
+    "skl": skylake_8160,
+    "knl": knights_landing_7250,
+    "a64fx": a64fx,
+    # Concept parts for the paper's §IV-G outlook; not in Table III and
+    # therefore not returned by paper_machines().
+    "hbm2e": hbm2e_concept,
+    "hbm3": hbm3_concept,
+}
+
+#: Aliases accepted by :func:`get_machine`.
+_ALIASES: Dict[str, str] = {
+    "skylake": "skl",
+    "xeon-8160": "skl",
+    "knights-landing": "knl",
+    "xeon-phi-7250": "knl",
+    "fujitsu-a64fx": "a64fx",
+}
+
+
+def machine_names() -> Tuple[str, ...]:
+    """Canonical names of all registered machines."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Return a fresh :class:`MachineSpec` for ``name`` (case-insensitive).
+
+    Raises :class:`~repro.errors.UnknownMachineError` for unknown names.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise UnknownMachineError(name, machine_names()) from None
+    return factory()
+
+
+def register_machine(
+    name: str, factory: Callable[[], MachineSpec], *, overwrite: bool = False
+) -> None:
+    """Register a user-defined machine factory under ``name``."""
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("machine name must be non-empty")
+    if key in _FACTORIES and not overwrite:
+        raise ConfigurationError(
+            f"machine {key!r} already registered (pass overwrite=True to replace)"
+        )
+    _FACTORIES[key] = factory
+
+
+def paper_machines() -> Tuple[MachineSpec, ...]:
+    """The three machines of paper Table III, in paper order."""
+    return (get_machine("skl"), get_machine("knl"), get_machine("a64fx"))

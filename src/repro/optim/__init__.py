@@ -1,0 +1,25 @@
+"""Optimization transforms: workload states and effect application."""
+
+from .pipeline import OptimizationPipeline, recipe_context_for, validate_sequence
+from .transforms import (
+    STEP_INFO,
+    EffectTable,
+    TransformEffect,
+    WorkloadState,
+    kind_of_step,
+    label_of_step,
+    lookup_effect,
+)
+
+__all__ = [
+    "EffectTable",
+    "OptimizationPipeline",
+    "STEP_INFO",
+    "TransformEffect",
+    "WorkloadState",
+    "kind_of_step",
+    "label_of_step",
+    "lookup_effect",
+    "recipe_context_for",
+    "validate_sequence",
+]

@@ -1,0 +1,75 @@
+"""Ordered application of optimization steps to a workload state.
+
+The paper's case studies are *sequences*: measure, apply the recipe's
+recommendation, re-measure, repeat ("+ vect" → "+ vect, 2-ht" → ...).
+:class:`OptimizationPipeline` replays such a sequence against a
+workload's effect table, yielding every intermediate state, and
+:func:`recipe_context_for` translates a state into the
+:class:`~repro.core.recipe.RecipeContext` the decision engine needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from ..core.recipe import RecipeContext
+from ..errors import OptimizationError
+from .transforms import (
+    EffectTable,
+    WorkloadState,
+    kind_of_step,
+    lookup_effect,
+)
+
+
+class OptimizationPipeline:
+    """Replays optimization sequences over one workload's effect table."""
+
+    def __init__(self, effects: EffectTable) -> None:
+        self.effects = effects
+
+    def apply(self, state: WorkloadState, step: str) -> WorkloadState:
+        """Apply one named step."""
+        effect = lookup_effect(self.effects, step, state.machine_name)
+        return effect.apply(state, step)
+
+    def run(
+        self, base: WorkloadState, steps: Sequence[str]
+    ) -> List[WorkloadState]:
+        """All states along a sequence, starting with ``base`` itself."""
+        states = [base]
+        current = base
+        for step in steps:
+            current = self.apply(current, step)
+            states.append(current)
+        return states
+
+    def pairs(
+        self, base: WorkloadState, steps: Sequence[str]
+    ) -> Iterator[Tuple[WorkloadState, str, WorkloadState]]:
+        """(before, step, after) triples along a sequence."""
+        current = base
+        for step in steps:
+            after = self.apply(current, step)
+            yield current, step, after
+            current = after
+
+
+def recipe_context_for(state: WorkloadState) -> RecipeContext:
+    """RecipeContext matching a workload state's applied optimizations."""
+    return RecipeContext(
+        applied=frozenset(state.applied_kinds),
+        smt_ways_used=state.smt_ways,
+    )
+
+
+def validate_sequence(steps: Sequence[str]) -> None:
+    """Sanity-check a step sequence (no duplicates, smt2 before smt4)."""
+    seen = set()
+    for step in steps:
+        kind_of_step(step)  # raises on unknown steps
+        if step in seen:
+            raise OptimizationError(f"duplicate step {step!r} in sequence")
+        seen.add(step)
+    if "smt4" in seen and "smt2" not in seen:
+        raise OptimizationError("smt4 requires smt2 earlier in the sequence")

@@ -1,0 +1,21 @@
+"""Analytic performance model: fixed-point solver and case-study driver."""
+
+from .casestudy import (
+    SPEEDUP_HELPED,
+    CaseStudyResult,
+    CaseStudyRunner,
+    run_case_study,
+)
+from .runtime import RuntimeModel, RuntimePrediction
+from .solver import SolvedPoint, solve_operating_point
+
+__all__ = [
+    "CaseStudyResult",
+    "CaseStudyRunner",
+    "RuntimeModel",
+    "RuntimePrediction",
+    "SPEEDUP_HELPED",
+    "SolvedPoint",
+    "run_case_study",
+    "solve_operating_point",
+]

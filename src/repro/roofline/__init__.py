@@ -1,0 +1,19 @@
+"""Roofline model plus the paper's MSHR-ceiling extension (Figure 2)."""
+
+from .model import Roofline, RooflinePoint, log_intensity_grid
+from .mshr_ceiling import (
+    ExtendedRoofline,
+    MshrCeiling,
+    extended_roofline_for,
+    mshr_ceiling,
+)
+
+__all__ = [
+    "ExtendedRoofline",
+    "MshrCeiling",
+    "Roofline",
+    "RooflinePoint",
+    "extended_roofline_for",
+    "log_intensity_grid",
+    "mshr_ceiling",
+]

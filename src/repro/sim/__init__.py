@@ -1,0 +1,46 @@
+"""Trace-driven cache/MSHR/prefetcher/memory simulator.
+
+This package is the reproduction's stand-in for both the hardware
+performance counters and the "Cray/HPE proprietary cycle-level
+simulator" the paper uses for validation (see DESIGN.md §2).
+"""
+
+from .cache import CacheArray
+from .engine import Engine
+from .hierarchy import Hierarchy, SimConfig, run_trace
+from .memctrl import MemoryController
+from .mshr import MshrEntry, MshrFile
+from .prefetcher import StreamPrefetcher
+from .stats import (
+    CoreStats,
+    LevelStats,
+    MemoryStats,
+    OccupancyTracker,
+    SimStats,
+)
+from .tlb import Tlb, TlbStats
+from .trace import Access, AccessKind, ThreadTrace, Trace, trace_from_addresses
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "CacheArray",
+    "CoreStats",
+    "Engine",
+    "Hierarchy",
+    "LevelStats",
+    "MemoryController",
+    "MemoryStats",
+    "MshrEntry",
+    "MshrFile",
+    "OccupancyTracker",
+    "SimConfig",
+    "SimStats",
+    "StreamPrefetcher",
+    "ThreadTrace",
+    "Tlb",
+    "TlbStats",
+    "Trace",
+    "run_trace",
+    "trace_from_addresses",
+]

@@ -1,0 +1,96 @@
+"""Set-associative cache arrays with true LRU replacement.
+
+Only the tag arrays are modeled (no data).  The cache tracks dirtiness so
+evictions of written lines produce writeback traffic — the paper notes
+its bandwidth counters miss L3 writebacks and estimates them with
+heuristics; our simulator counts them exactly, which is one of the
+"simulator as counter oracle" advantages documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..machines.spec import CacheSpec
+
+
+class CacheArray:
+    """Tag array for one cache at one core (or core cluster)."""
+
+    def __init__(self, spec: CacheSpec, name: str) -> None:
+        self.spec = spec
+        self.name = name
+        self.num_sets = spec.num_sets
+        self.ways = spec.associativity
+        self.line_bytes = spec.line_bytes
+        # Per set: list of (line_addr, dirty) in LRU order (front = LRU).
+        self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.num_sets)]
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def line_of(self, addr: int) -> int:
+        """Line address (aligned) containing byte ``addr``."""
+        return (addr // self.line_bytes) * self.line_bytes
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def probe(self, line_addr: int) -> bool:
+        """Is the line present? (No LRU update — use :meth:`access`.)"""
+        idx = self._set_index(line_addr)
+        return any(tag == line_addr for tag, _ in self._sets[idx])
+
+    def access(self, line_addr: int, *, write: bool = False) -> bool:
+        """Look up a line; on hit, update LRU (and dirty bit for writes).
+
+        Returns True on hit, False on miss.  Misses do not install the
+        line — installation happens on fill via :meth:`fill`.
+        """
+        idx = self._set_index(line_addr)
+        ways = self._sets[idx]
+        for i, (tag, dirty) in enumerate(ways):
+            if tag == line_addr:
+                del ways[i]
+                ways.append((line_addr, dirty or write))
+                return True
+        return False
+
+    def fill(self, line_addr: int, *, dirty: bool = False) -> Optional[int]:
+        """Install a line; returns the evicted *dirty* line address, if any.
+
+        Clean evictions return None (no writeback traffic).  Filling a
+        line that is already present just refreshes its LRU position.
+        """
+        idx = self._set_index(line_addr)
+        ways = self._sets[idx]
+        for i, (tag, was_dirty) in enumerate(ways):
+            if tag == line_addr:
+                del ways[i]
+                ways.append((line_addr, was_dirty or dirty))
+                return None
+        self.fills += 1
+        victim_writeback: Optional[int] = None
+        if len(ways) >= self.ways:
+            victim_addr, victim_dirty = ways.pop(0)
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+                victim_writeback = victim_addr
+        ways.append((line_addr, dirty))
+        return victim_writeback
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present; returns whether it was present."""
+        idx = self._set_index(line_addr)
+        ways = self._sets[idx]
+        for i, (tag, _) in enumerate(ways):
+            if tag == line_addr:
+                del ways[i]
+                return True
+        return False
+
+    def resident_lines(self) -> int:
+        """Total lines currently resident (for tests)."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,158 @@
+"""Core front end: per-thread issue contexts over the cache hierarchy.
+
+The core model is deliberately simple — the paper's whole point is that
+MLP abstracts away out-of-order minutiae — but it captures the three
+things that matter:
+
+* a per-thread **window** of outstanding demand accesses (the ROB/load
+  queue share available to the thread; halved per thread under SMT),
+* per-access **gap cycles** of independent work (arithmetic intensity),
+* stalls when the **L1 MSHR file is full** (the structural hazard the
+  paper's metric is built around) and when the window is full.
+
+SMT threads are just multiple :class:`ThreadContext` objects bound to
+the same :class:`CoreState` (sharing its caches and MSHRs), exactly the
+resource-sharing the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import SimulationError
+from .stats import CoreStats
+from .trace import Access, AccessKind, ThreadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .hierarchy import Hierarchy
+
+
+@dataclass
+class ThreadContext:
+    """Issue state of one hardware thread."""
+
+    trace: ThreadTrace
+    core_id: int
+    window: int
+    next_idx: int = 0
+    in_flight: int = 0
+    waiting_window: bool = False
+    waiting_mshr: bool = False
+    stall_start_ns: float = 0.0
+    done: bool = False
+
+    @property
+    def exhausted(self) -> bool:
+        """Has the thread issued its whole trace?"""
+        return self.next_idx >= len(self.trace.accesses)
+
+
+class ThreadDriver:
+    """Drives one thread's trace through the hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: "Hierarchy",
+        context: ThreadContext,
+        core_stats: CoreStats,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.engine = hierarchy.engine
+        self.ctx = context
+        self.core_stats = core_stats
+        self._freq_ghz = hierarchy.machine.frequency_ghz
+
+    def start(self) -> None:
+        """Schedule the first issue attempt."""
+        if self.ctx.exhausted:
+            self._finish()
+            return
+        first_gap = self.ctx.trace.accesses[0].gap_cycles / self._freq_ghz
+        self.engine.schedule(first_gap, self._try_issue)
+
+    # -- issue path -----------------------------------------------------------
+
+    def _try_issue(self) -> None:
+        ctx = self.ctx
+        if ctx.done or ctx.exhausted:
+            self._maybe_finish()
+            return
+        access = ctx.trace.accesses[ctx.next_idx]
+
+        if access.kind.is_demand and ctx.in_flight >= ctx.window:
+            if not ctx.waiting_window:
+                ctx.waiting_window = True
+                ctx.stall_start_ns = self.engine.now
+            return  # a completion will re-enter via on_complete
+
+        # Prefetches are non-blocking: they never enter the window, so
+        # their completion must not decrement in_flight.
+        on_complete = (
+            self._on_complete if access.kind.is_demand else self._on_prefetch_done
+        )
+        issued = self.hierarchy.issue_access(
+            core_id=ctx.core_id, access=access, on_complete=on_complete
+        )
+        if not issued:
+            # L1 MSHR file full: record stall and retry when one frees.
+            if not ctx.waiting_mshr:
+                ctx.waiting_mshr = True
+                ctx.stall_start_ns = self.engine.now
+            self.hierarchy.l1_mshr(ctx.core_id).wait_for_free(self._retry_after_mshr)
+            return
+
+        now = self.engine.now
+        if ctx.waiting_window or ctx.waiting_mshr:
+            stall = now - ctx.stall_start_ns
+            if ctx.waiting_mshr:
+                self.core_stats.l1_mshr_stall_ns += stall
+                self.hierarchy.stats.l1.mshr_full_stalls += 1
+                self.hierarchy.stats.l1.mshr_full_stall_ns += stall
+            else:
+                self.core_stats.window_stall_ns += stall
+            ctx.waiting_window = False
+            ctx.waiting_mshr = False
+
+        self.core_stats.issued_accesses += 1
+        self.core_stats.compute_cycles += access.gap_cycles
+        if access.kind.is_demand:
+            ctx.in_flight += 1
+        ctx.next_idx += 1
+
+        if ctx.exhausted:
+            self._maybe_finish()
+            return
+        next_gap = ctx.trace.accesses[ctx.next_idx].gap_cycles / self._freq_ghz
+        self.engine.schedule(next_gap, self._try_issue)
+
+    def _retry_after_mshr(self) -> None:
+        if not self.ctx.done:
+            self._try_issue()
+
+    def _on_prefetch_done(self) -> None:
+        """Software-prefetch retirement: no window slot to release."""
+        self._maybe_finish()
+
+    def _on_complete(self) -> None:
+        ctx = self.ctx
+        ctx.in_flight -= 1
+        if ctx.in_flight < 0:
+            raise SimulationError("thread in_flight went negative")
+        if ctx.waiting_window:
+            self._try_issue()
+        else:
+            self._maybe_finish()
+
+    # -- completion -----------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        ctx = self.ctx
+        if not ctx.done and ctx.exhausted and ctx.in_flight == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.ctx.done = True
+        self.core_stats.finished = True
+        self.core_stats.finish_time_ns = self.engine.now
+        self.hierarchy.thread_finished()

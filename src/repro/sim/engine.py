@@ -1,0 +1,90 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are ``(time, seq, callback)``
+triples in a heap; ``seq`` breaks ties so same-time events fire in
+scheduling order, making runs fully reproducible.  Time is in
+**nanoseconds** (float); component code converts to core cycles where
+needed via the machine's frequency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """Deterministic discrete-event loop with ns time."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in ns."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far (for loop-bound guards)."""
+        return self._events_fired
+
+    def schedule(self, delay_ns: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay_ns}")
+        heapq.heappush(self._queue, (self._now + delay_ns, next(self._seq), callback))
+
+    def schedule_at(self, time_ns: float, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} before now ({self._now})"
+            )
+        heapq.heappush(self._queue, (time_ns, next(self._seq), callback))
+
+    def run(
+        self,
+        *,
+        until_ns: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> float:
+        """Run until the queue drains (or ``until_ns`` / ``max_events``).
+
+        Returns the final simulation time.  ``max_events`` is a runaway
+        guard: exceeding it raises
+        :class:`~repro.errors.SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                time_ns, _, callback = self._queue[0]
+                if until_ns is not None and time_ns > until_ns:
+                    self._now = until_ns
+                    break
+                heapq.heappop(self._queue)
+                self._now = time_ns
+                self._events_fired += 1
+                if self._events_fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a scheduling loop"
+                    )
+                callback()
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

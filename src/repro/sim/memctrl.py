@@ -1,0 +1,158 @@
+"""Simulated memory controller: a bandwidth-capped latency oracle.
+
+Design (per DESIGN.md §5): the controller enforces the machine's
+bandwidth ceiling by admitting one cache line per ``line_bytes /
+effective_bw`` seconds, and assigns each admitted request a completion
+latency taken from the machine's **calibrated loaded-latency curve** at
+the controller's currently observed utilization.  Consequences:
+
+* the characterize→analyze loop closes: the X-Mem substitute, sweeping
+  injection rates against this controller, recovers exactly the curve
+  the analyzer later consults;
+* Little's law holds by construction *of the physics*, so the measured
+  MSHR occupancy equals rate × latency — which the property tests check
+  against the independently-integrated occupancy trackers;
+* when MSHR-limited clients cannot keep the pipe full, utilization and
+  thus latency fall, reproducing the closed-loop feedback the paper's
+  Figure 2 ceiling captures.
+
+Utilization is estimated over a sliding window of recently admitted
+bytes.  Writebacks consume admission slots (bandwidth) but complete
+immediately (no MSHR is held for them).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..errors import SimulationError
+from ..memory.latency_model import LatencyModel
+from .engine import Engine
+from .stats import MemoryStats
+
+
+class MemoryController:
+    """Rate-limited, curve-driven memory service.
+
+    Parameters
+    ----------
+    engine:
+        The event engine.
+    latency_model:
+        Loaded-latency curve (utilization → ns).
+    peak_bw_bytes:
+        Theoretical peak bandwidth of the *simulated slice* (the
+        hierarchy scales socket bandwidth down to the simulated core
+        count).
+    achievable_fraction:
+        Streams-achievable fraction; admission is capped here.
+    line_bytes:
+        Transfer granularity.
+    stats:
+        Shared :class:`MemoryStats` to update.
+    window_ns:
+        Sliding window for the utilization estimate.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency_model: LatencyModel,
+        *,
+        peak_bw_bytes: float,
+        achievable_fraction: float,
+        line_bytes: int,
+        stats: MemoryStats,
+        window_ns: float = 2000.0,
+    ) -> None:
+        if peak_bw_bytes <= 0:
+            raise SimulationError("peak bandwidth must be positive")
+        if not 0 < achievable_fraction <= 1:
+            raise SimulationError("achievable fraction must be in (0,1]")
+        self.engine = engine
+        self.latency_model = latency_model
+        self.peak_bw_bytes = peak_bw_bytes
+        self.achievable_bw_bytes = peak_bw_bytes * achievable_fraction
+        self.line_bytes = line_bytes
+        self.stats = stats
+        self.window_ns = window_ns
+        #: ns per admitted line at the achievable-bandwidth cap.
+        self.slot_ns = line_bytes / self.achievable_bw_bytes * 1e9
+        self._next_free_ns = 0.0
+        self._recent: Deque[Tuple[float, int]] = deque()  # (admit time, bytes)
+        self._recent_bytes = 0
+
+    # -- utilization estimate ----------------------------------------------------
+
+    def _note_admission(self, now_ns: float, nbytes: int) -> None:
+        self._recent.append((now_ns, nbytes))
+        self._recent_bytes += nbytes
+        cutoff = now_ns - self.window_ns
+        while self._recent and self._recent[0][0] < cutoff:
+            _, old = self._recent.popleft()
+            self._recent_bytes -= old
+
+    def utilization(self, now_ns: float) -> float:
+        """Recent-bytes utilization of theoretical peak, in [0, 1]."""
+        cutoff = now_ns - self.window_ns
+        while self._recent and self._recent[0][0] < cutoff:
+            _, old = self._recent.popleft()
+            self._recent_bytes -= old
+        if not self._recent:
+            return 0.0
+        rate = self._recent_bytes / (self.window_ns * 1e-9)
+        return min(1.0, rate / self.peak_bw_bytes)
+
+    def current_latency_ns(self, now_ns: float) -> float:
+        """Loaded latency the next admitted request would see."""
+        return self.latency_model.latency_ns(self.utilization(now_ns))
+
+    # -- request service -----------------------------------------------------------
+
+    def request(
+        self,
+        *,
+        is_write: bool,
+        is_prefetch: bool,
+        on_complete: Callable[[], None],
+    ) -> None:
+        """Service one cache-line request.
+
+        Admission waits for a bandwidth slot; completion fires
+        ``on_complete`` after the loaded latency at the admission-time
+        utilization.
+        """
+        now = self.engine.now
+        admit = max(now, self._next_free_ns)
+        self._next_free_ns = admit + self.slot_ns
+
+        def _admit() -> None:
+            t = self.engine.now
+            self._note_admission(t, self.line_bytes)
+            latency = self.latency_model.latency_ns(self.utilization(t))
+            if is_prefetch:
+                self.stats.prefetch_bytes += self.line_bytes
+            elif is_write:
+                self.stats.demand_write_bytes += self.line_bytes
+            else:
+                self.stats.demand_read_bytes += self.line_bytes
+            self.stats.requests += 1
+            self.stats.latency_sum_ns += latency + (admit - now)
+            self.stats.latency_count += 1
+            self.engine.schedule(latency, on_complete)
+
+        self.engine.schedule_at(admit, _admit)
+
+    def writeback(self) -> None:
+        """Consume bandwidth for a dirty-line writeback (fire and forget)."""
+        now = self.engine.now
+        admit = max(now, self._next_free_ns)
+        self._next_free_ns = admit + self.slot_ns
+
+        def _admit() -> None:
+            self._note_admission(self.engine.now, self.line_bytes)
+            self.stats.demand_write_bytes += self.line_bytes
+            self.stats.requests += 1
+
+        self.engine.schedule_at(admit, _admit)

@@ -1,0 +1,165 @@
+"""Memory-access traces: the simulator's workload representation.
+
+A trace is a sequence of :class:`Access` records per thread.  Each record
+carries an address, a read/write flag, a *kind* (demand load/store or a
+software prefetch targeting L1 or L2 — the paper's ISx optimization), and
+the number of core cycles of independent work preceding it (which models
+arithmetic intensity and instruction-level work between memory
+operations).
+
+Traces are deliberately compact: the workload generators in
+:mod:`repro.workloads` emit a few tens of thousands of accesses that are
+*statistically* faithful to each paper routine (random for ISx, many
+unit-stride streams for MiniGhost/HPCG, gathers for PENNANT, sparse for
+CoMD, short bursts for SNAP) rather than full program traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import TraceError
+
+
+class AccessKind(enum.Enum):
+    """What kind of memory operation an access is."""
+
+    LOAD = "load"
+    STORE = "store"
+    #: Software prefetch into L1 (occupies L1 and L2 MSHRs on the way).
+    SWPF_L1 = "swpf_l1"
+    #: Software prefetch into L2 only (paper's ISx optimization: uses the
+    #: otherwise-idle L2 MSHRs, bypassing the L1 MSHR file).
+    SWPF_L2 = "swpf_l2"
+
+    @property
+    def is_prefetch(self) -> bool:
+        """Is this a software-prefetch hint?"""
+        return self in (AccessKind.SWPF_L1, AccessKind.SWPF_L2)
+
+    @property
+    def is_demand(self) -> bool:
+        """Is this a demand load/store?"""
+        return not self.is_prefetch
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory operation in a thread's trace.
+
+    Attributes
+    ----------
+    addr:
+        Byte address.
+    kind:
+        Demand load/store or software prefetch.
+    gap_cycles:
+        Core cycles of independent (non-memory) work the thread performs
+        before issuing this access.  Zero means back-to-back.
+    """
+
+    addr: int
+    kind: AccessKind = AccessKind.LOAD
+    gap_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise TraceError(f"negative address {self.addr}")
+        if self.gap_cycles < 0:
+            raise TraceError(f"negative gap {self.gap_cycles}")
+
+
+@dataclass(frozen=True)
+class ThreadTrace:
+    """The ordered accesses of one hardware thread."""
+
+    thread_id: int
+    accesses: Tuple[Access, ...]
+
+    def __post_init__(self) -> None:
+        if self.thread_id < 0:
+            raise TraceError("thread_id must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def demand_count(self) -> int:
+        """Demand (non-prefetch) accesses in this thread's trace."""
+        return sum(1 for a in self.accesses if a.kind.is_demand)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A multi-threaded access trace plus bookkeeping.
+
+    Attributes
+    ----------
+    threads:
+        One :class:`ThreadTrace` per hardware thread.
+    routine:
+        Name of the routine this trace models (per-routine analysis is
+        central to the paper's method).
+    line_bytes:
+        Cache-line granularity the addresses were generated for; the
+        hierarchy validates this against the machine.
+    """
+
+    threads: Tuple[ThreadTrace, ...]
+    routine: str = "kernel"
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise TraceError("trace must contain at least one thread")
+        ids = [t.thread_id for t in self.threads]
+        if len(set(ids)) != len(ids):
+            raise TraceError("duplicate thread ids in trace")
+        if self.line_bytes <= 0:
+            raise TraceError("line_bytes must be positive")
+
+    @property
+    def total_accesses(self) -> int:
+        """All accesses across threads."""
+        return sum(len(t) for t in self.threads)
+
+    @property
+    def total_demand(self) -> int:
+        """All demand accesses across threads."""
+        return sum(t.demand_count for t in self.threads)
+
+
+def trace_from_addresses(
+    addresses_per_thread: Sequence[Sequence[int]],
+    *,
+    routine: str = "kernel",
+    line_bytes: int = 64,
+    gap_cycles: float = 0.0,
+    kind: AccessKind = AccessKind.LOAD,
+) -> Trace:
+    """Convenience: build a read-only trace from raw address lists."""
+    threads = tuple(
+        ThreadTrace(
+            thread_id=i,
+            accesses=tuple(Access(int(a), kind, gap_cycles) for a in addrs),
+        )
+        for i, addrs in enumerate(addresses_per_thread)
+    )
+    return Trace(threads=threads, routine=routine, line_bytes=line_bytes)
+
+
+def interleave_kinds(
+    addresses: Iterable[int],
+    pattern: Sequence[AccessKind],
+    *,
+    gap_cycles: float = 0.0,
+) -> List[Access]:
+    """Cycle ``pattern`` of kinds over ``addresses`` (e.g. load,load,store)."""
+    if not pattern:
+        raise TraceError("pattern must be non-empty")
+    out: List[Access] = []
+    for i, addr in enumerate(addresses):
+        out.append(Access(int(addr), pattern[i % len(pattern)], gap_cycles))
+    return out

@@ -1,0 +1,12 @@
+"""Top-Down Microarchitectural Analysis baseline (the paper's comparator)."""
+
+from .analysis import BANDWIDTH_THRESHOLD, TmaAnalysis, TmaReport
+from .categories import TmaBreakdown, TmaCategory
+
+__all__ = [
+    "BANDWIDTH_THRESHOLD",
+    "TmaAnalysis",
+    "TmaBreakdown",
+    "TmaCategory",
+    "TmaReport",
+]

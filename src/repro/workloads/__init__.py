@@ -1,0 +1,47 @@
+"""The six paper applications (Table II) as workload models."""
+
+from typing import Dict, Tuple
+
+from .base import MachineCalibration, RowPlan, TraceSpec, Workload
+from .comd import COMD, ComdWorkload
+from .hpcg import HPCG, HpcgWorkload
+from .isx import ISX, IsxWorkload
+from .minighost import MINIGHOST, MinighostWorkload
+from .pennant import PENNANT, PennantWorkload
+from .snap import SNAP, SnapWorkload
+
+#: All paper workloads, in Table II order.
+ALL_WORKLOADS: Tuple[Workload, ...] = (ISX, HPCG, PENNANT, COMD, MINIGHOST, SNAP)
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    """Lookup a paper workload by its Table II name."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "COMD",
+    "ComdWorkload",
+    "HPCG",
+    "HpcgWorkload",
+    "ISX",
+    "IsxWorkload",
+    "MINIGHOST",
+    "MachineCalibration",
+    "MinighostWorkload",
+    "PENNANT",
+    "PennantWorkload",
+    "RowPlan",
+    "SNAP",
+    "SnapWorkload",
+    "TraceSpec",
+    "Workload",
+    "get_workload",
+]

@@ -1,0 +1,210 @@
+"""Access-pattern building blocks for workload trace generators.
+
+Each helper emits a list of :class:`~repro.sim.trace.Access` records
+with a distinct statistical signature:
+
+* :func:`random_updates` — read-modify-write at random lines over a
+  large region (ISx bucket counting): defeats the stream prefetcher;
+* :func:`unit_streams` — N interleaved unit-stride streams
+  (MiniGhost planes, HPCG matrix arrays): trains the prefetcher;
+* :func:`gather_accesses` — indexed loads over a region with tunable
+  locality (HPCG ``x`` vector, PENNANT mesh arrays);
+* :func:`short_bursts` — short unit-stride runs with jumps between
+  them (SNAP's small inner loops): too short for timely hardware
+  prefetch;
+* :func:`cached_compute` — accesses inside a small, cache-resident
+  footprint separated by large compute gaps (CoMD force loops).
+
+All helpers take an explicit ``random.Random`` so traces are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import TraceError
+from ..sim.trace import Access, AccessKind
+
+#: Spacing between logical regions, large enough to avoid set collisions.
+REGION_STRIDE = 256 * 1024 * 1024
+
+
+def region_base(region_id: int) -> int:
+    """Byte base address of a numbered region."""
+    if region_id < 0:
+        raise TraceError("region_id must be >= 0")
+    return region_id * REGION_STRIDE
+
+
+def random_updates(
+    count: int,
+    line_bytes: int,
+    rng: random.Random,
+    *,
+    region_id: int = 0,
+    region_bytes: int = 128 * 1024 * 1024,
+    gap_cycles: float = 2.0,
+    write_fraction: float = 0.5,
+    prefetch_to_l2: bool = False,
+    prefetch_distance: int = 8,
+) -> List[Access]:
+    """Random-line read(-modify-write) accesses; optional L2 SW prefetch.
+
+    With ``prefetch_to_l2`` the generator emits an ``SWPF_L2`` for the
+    line that will be touched ``prefetch_distance`` updates later —
+    the ISx optimization, software pipelined exactly as a compiler
+    would emit it.
+    """
+    if count <= 0:
+        raise TraceError("count must be positive")
+    base = region_base(region_id)
+    lines = region_bytes // line_bytes
+    targets = [rng.randrange(lines) * line_bytes + base for _ in range(count)]
+    out: List[Access] = []
+    for i, addr in enumerate(targets):
+        if prefetch_to_l2 and i + prefetch_distance < count:
+            out.append(
+                Access(targets[i + prefetch_distance], AccessKind.SWPF_L2, 0.5)
+            )
+        write = rng.random() < write_fraction
+        kind = AccessKind.STORE if write else AccessKind.LOAD
+        out.append(Access(addr, kind, gap_cycles))
+    return out
+
+
+def unit_streams(
+    count: int,
+    line_bytes: int,
+    *,
+    streams: int = 8,
+    region_id: int = 0,
+    element_bytes: Optional[int] = None,
+    gap_cycles: float = 2.0,
+    store_stream: bool = False,
+) -> List[Access]:
+    """``streams`` interleaved unit-stride streams; last one may store."""
+    if count <= 0 or streams <= 0:
+        raise TraceError("count and streams must be positive")
+    stride = element_bytes if element_bytes else line_bytes
+    bases = [
+        region_base(region_id) + s * (32 * 1024 * 1024) for s in range(streams)
+    ]
+    offsets = [0] * streams
+    out: List[Access] = []
+    for i in range(count):
+        s = i % streams
+        kind = (
+            AccessKind.STORE
+            if store_stream and s == streams - 1
+            else AccessKind.LOAD
+        )
+        out.append(Access(bases[s] + offsets[s], kind, gap_cycles))
+        offsets[s] += stride
+    return out
+
+
+def gather_accesses(
+    count: int,
+    line_bytes: int,
+    rng: random.Random,
+    *,
+    region_id: int = 0,
+    region_bytes: int = 64 * 1024 * 1024,
+    locality: float = 0.0,
+    window_lines: int = 512,
+    gap_cycles: float = 3.0,
+) -> List[Access]:
+    """Indexed loads with tunable locality.
+
+    ``locality`` is the probability that the next gather lands within a
+    sliding window of ``window_lines`` around the previous target
+    (HPCG's 27-neighbor structure has high locality; PENNANT's corner
+    indirection much less).
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise TraceError("locality must be in [0,1]")
+    base = region_base(region_id)
+    lines = max(window_lines + 1, region_bytes // line_bytes)
+    current = rng.randrange(lines)
+    out: List[Access] = []
+    for _ in range(count):
+        if rng.random() < locality:
+            lo = max(0, current - window_lines // 2)
+            hi = min(lines - 1, current + window_lines // 2)
+            current = rng.randint(lo, hi)
+        else:
+            current = rng.randrange(lines)
+        out.append(Access(base + current * line_bytes, AccessKind.LOAD, gap_cycles))
+    return out
+
+
+def short_bursts(
+    count: int,
+    line_bytes: int,
+    rng: random.Random,
+    *,
+    region_id: int = 0,
+    burst_elements: int = 48,
+    element_bytes: int = 8,
+    gap_cycles: float = 4.0,
+    sw_prefetch: bool = False,
+    region_bytes: int = 64 * 1024 * 1024,
+) -> List[Access]:
+    """Short unit-stride bursts with jumps (SNAP's small inner loops).
+
+    With ``sw_prefetch``, each burst is preceded by ``SWPF_L1`` touches
+    of the burst's lines — the directive-driven prefetching the paper
+    applies to ``dim3_sweep``.
+    """
+    if burst_elements <= 0:
+        raise TraceError("burst_elements must be positive")
+    base = region_base(region_id)
+    lines = region_bytes // line_bytes
+    out: List[Access] = []
+    emitted = 0
+    while emitted < count:
+        start = rng.randrange(lines) * line_bytes + base
+        burst_lines = max(1, burst_elements * element_bytes // line_bytes)
+        if sw_prefetch:
+            for j in range(burst_lines):
+                out.append(Access(start + j * line_bytes, AccessKind.SWPF_L1, 0.5))
+        n = min(burst_elements, count - emitted)
+        for j in range(n):
+            out.append(Access(start + j * element_bytes, AccessKind.LOAD, gap_cycles))
+        emitted += n
+    return out
+
+
+def cached_compute(
+    count: int,
+    line_bytes: int,
+    rng: random.Random,
+    *,
+    region_id: int = 0,
+    footprint_bytes: int = 24 * 1024,
+    miss_fraction: float = 0.02,
+    cold_region_bytes: int = 64 * 1024 * 1024,
+    gap_cycles: float = 20.0,
+) -> List[Access]:
+    """Cache-resident accesses with rare cold misses and big compute gaps.
+
+    Models CoMD's ``eamForce``: neighbor data mostly fits in cache, a
+    small fraction of touches goes to memory, and heavy floating-point
+    work separates memory operations.
+    """
+    if not 0.0 <= miss_fraction <= 1.0:
+        raise TraceError("miss_fraction must be in [0,1]")
+    hot_base = region_base(region_id)
+    cold_base = region_base(region_id) + REGION_STRIDE // 2
+    hot_lines = max(1, footprint_bytes // line_bytes)
+    cold_lines = cold_region_bytes // line_bytes
+    out: List[Access] = []
+    for _ in range(count):
+        if rng.random() < miss_fraction:
+            addr = cold_base + rng.randrange(cold_lines) * line_bytes
+        else:
+            addr = hot_base + rng.randrange(hot_lines) * line_bytes
+        out.append(Access(addr, AccessKind.LOAD, gap_cycles))
+    return out

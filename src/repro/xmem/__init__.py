@@ -1,0 +1,22 @@
+"""X-Mem substitute: cross-platform loaded-latency characterization."""
+
+from .kernels import (
+    gap_sweep,
+    pointer_chase_addresses,
+    pointer_chase_trace,
+    throughput_thread,
+    throughput_trace,
+)
+from .runner import XMemConfig, XMemMeasurement, XMemRunner, characterize_machine
+
+__all__ = [
+    "XMemConfig",
+    "XMemMeasurement",
+    "XMemRunner",
+    "characterize_machine",
+    "gap_sweep",
+    "pointer_chase_addresses",
+    "pointer_chase_trace",
+    "throughput_thread",
+    "throughput_trace",
+]

@@ -1,0 +1,53 @@
+"""Shared fixtures: machines, small sim configs, cached latency profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import get_machine
+from repro.memory import LatencyProfile, model_for_machine
+from repro.sim import SimConfig
+
+
+@pytest.fixture(scope="session")
+def skl():
+    return get_machine("skl")
+
+
+@pytest.fixture(scope="session")
+def knl():
+    return get_machine("knl")
+
+
+@pytest.fixture(scope="session")
+def a64fx():
+    return get_machine("a64fx")
+
+
+@pytest.fixture(scope="session")
+def all_machines(skl, knl, a64fx):
+    return (skl, knl, a64fx)
+
+
+@pytest.fixture(scope="session")
+def skl_profile(skl):
+    """Model-derived SKL latency profile (fast, deterministic)."""
+    return LatencyProfile.from_model(
+        skl.name, skl.memory.peak_bw_bytes, model_for_machine(skl)
+    )
+
+
+@pytest.fixture
+def small_skl_config(skl):
+    """A 2-core SKL slice sized for fast unit tests."""
+    return SimConfig(machine=skl, sim_cores=2, threads_per_core=1, window_per_core=16)
+
+
+@pytest.fixture(scope="session")
+def xmem_skl_profile(skl):
+    """A real (measured) X-Mem profile for SKL; shared across tests."""
+    from repro.xmem import XMemConfig, characterize_machine
+
+    return characterize_machine(
+        skl, XMemConfig(levels=8, accesses_per_thread=1500)
+    )

@@ -1,0 +1,41 @@
+"""dgemm app: correctness + the unroll-and-jam recommendation chain."""
+
+import pytest
+
+from repro.apps import DgemmApp
+from repro.core import OptimizationKind, RoutineAnalyzer
+from repro.errors import ConfigurationError
+from repro.sim import SimConfig, run_trace
+
+
+class TestDgemmKernel:
+    def test_blocked_matches_numpy(self):
+        assert DgemmApp(n=48, block=12).verify()
+
+    def test_rejects_nondivisible_block(self):
+        with pytest.raises(ConfigurationError):
+            DgemmApp(n=50, block=12)
+
+
+class TestDgemmSignature:
+    @pytest.fixture(scope="class")
+    def stats(self, skl):
+        app = DgemmApp()
+        trace = app.extract_trace(skl)
+        return run_trace(
+            trace, SimConfig(machine=skl, sim_cores=2, window_per_core=14)
+        )
+
+    def test_low_mshr_occupancy(self, skl, stats):
+        """Blocked GEMM: most data in cache, occupancy near zero —
+        the situation the paper says 'can be inferred from a low MSHRQ
+        occupancy'."""
+        assert stats.avg_occupancy(1) < 1.0
+        assert stats.avg_occupancy(2) < 2.0
+
+    def test_recipe_recommends_unroll_and_jam(self, skl, stats):
+        """The paper's chain: low occupancy -> register tiling applies."""
+        report = RoutineAnalyzer(skl).analyze_run(stats)
+        assert report.mlp.n_avg < 1.0
+        benefit = report.decision.benefit_of(OptimizationKind.UNROLL_AND_JAM)
+        assert benefit.expects_speedup

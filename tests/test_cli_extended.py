@@ -1,0 +1,80 @@
+"""CLI: ingest, headroom, recipe-score, reproduce-all paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestIngest:
+    def test_csv_ingestion(self, capsys, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("count_local_keys,106.9,0.05\n")
+        assert main(["ingest", "--machine", "skl", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "count_local_keys" in out
+        assert "STOP" in out
+
+    def test_perf_ingestion(self, capsys, tmp_path):
+        path = tmp_path / "perf.txt"
+        path.write_text(
+            "  1,000,000,000  OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL\n"
+        )
+        code = main(
+            [
+                "ingest",
+                "--machine",
+                "skl",
+                "--file",
+                str(path),
+                "--format",
+                "perf",
+                "--seconds",
+                "1.0",
+                "--routine",
+                "demo",
+            ]
+        )
+        assert code == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_perf_without_seconds_errors(self, capsys, tmp_path):
+        path = tmp_path / "perf.txt"
+        path.write_text("1 X\n")
+        code = main(
+            ["ingest", "--machine", "skl", "--file", str(path), "--format", "perf"]
+        )
+        assert code == 2
+
+    def test_bad_measurement_reports_error(self, capsys, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("# nothing here\n")
+        code = main(["ingest", "--machine", "skl", "--file", str(path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestHeadroom:
+    def test_map_rendered(self, capsys):
+        assert main(["headroom", "--machine", "knl"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "streaming" in out
+
+    def test_concept_machines_available(self, capsys):
+        assert main(["headroom", "--machine", "hbm3"]) == 0
+
+
+class TestRecipeScore:
+    def test_score_is_clean(self, capsys):
+        assert main(["recipe-score"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+
+class TestReproduceAll:
+    def test_all_tables(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        for table in ("IV", "V", "VI", "VII", "VIII", "IX"):
+            assert f"Table {table} reproduction" in out
+        assert "all rows within tolerance" in out

@@ -1,0 +1,63 @@
+"""CLI simulate: the simulator-backed analysis from the command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_isx_base_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--machine",
+                "knl",
+                "--workload",
+                "isx",
+                "--accesses",
+                "1500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count_local_keys" in out
+        assert "L1 MSHR occ" in out
+        assert "random" in out  # classified from simulated counters
+
+    def test_isx_with_l2_prefetch_shows_migration(self, capsys):
+        main(
+            [
+                "simulate",
+                "--machine",
+                "knl",
+                "--workload",
+                "isx",
+                "--steps",
+                "l2_prefetch",
+                "--accesses",
+                "1500",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "prefetch fraction" in out
+        # The L2 file is now the busy queue.
+        assert "L2 MSHRQ binds" in out
+
+    def test_snap_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--machine",
+                "skl",
+                "--workload",
+                "snap",
+                "--accesses",
+                "1200",
+            ]
+        )
+        assert code == 0
+        assert "dim3_sweep" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--machine", "skl", "--workload", "linpack"])

@@ -1,0 +1,97 @@
+"""RoutineAnalyzer: end-to-end per-routine analysis + stationarity guard."""
+
+import random
+
+import pytest
+
+from repro.core import AccessPattern, Classification, RoutineAnalyzer
+from repro.errors import ConfigurationError, StationarityError
+from repro.sim import SimConfig, run_trace, trace_from_addresses
+
+
+def _run(machine, n=600, seed=5, routine="r", gap=2.0):
+    rng = random.Random(seed)
+    line = machine.line_bytes
+    trace = trace_from_addresses(
+        [[rng.randrange(1 << 22) * line for _ in range(n)] for _ in range(2)],
+        line_bytes=line,
+        gap_cycles=gap,
+        routine=routine,
+    )
+    return run_trace(trace, SimConfig(machine=machine, sim_cores=2, window_per_core=16))
+
+
+class TestBandwidthEntry:
+    def test_isx_skl_report(self, skl):
+        analyzer = RoutineAnalyzer(skl)
+        report = analyzer.analyze_bandwidth_gbs(
+            106.9, routine="count_local_keys", prefetch_fraction=0.05
+        )
+        assert report.mlp.n_avg == pytest.approx(10.1, rel=0.05)
+        assert report.classification.pattern is AccessPattern.RANDOM
+        assert report.decision.stop
+        assert "count_local_keys" in report.render()
+
+    def test_requires_exactly_one_evidence(self, skl):
+        analyzer = RoutineAnalyzer(skl)
+        with pytest.raises(ConfigurationError):
+            analyzer.analyze_bandwidth_gbs(50.0)
+        with pytest.raises(ConfigurationError):
+            analyzer.analyze_bandwidth_gbs(
+                50.0,
+                prefetch_fraction=0.5,
+                classification=Classification(
+                    AccessPattern.RANDOM, 0.0, rationale="x"
+                ),
+            )
+
+    def test_explicit_classification(self, skl):
+        analyzer = RoutineAnalyzer(skl)
+        report = analyzer.analyze_bandwidth_gbs(
+            50.0,
+            classification=Classification(AccessPattern.STREAMING, 0.9, "given"),
+        )
+        assert report.decision.binding_level == 2
+
+
+class TestRunEntry:
+    def test_analyze_simulated_run(self, skl):
+        stats = _run(skl, routine="kernel_a")
+        report = RoutineAnalyzer(skl).analyze_run(stats)
+        assert report.routine == "kernel_a"
+        # Random trace: the analyzer must see it as L1-bound.
+        assert report.decision.binding_level == 1
+        assert report.mlp.n_avg > 5  # near the 10-entry file
+
+    def test_slice_bandwidth_scaled_to_socket(self, skl):
+        stats = _run(skl)
+        report = RoutineAnalyzer(skl).analyze_run(stats)
+        slice_bw = stats.bandwidth_bytes_per_s()
+        assert report.mlp.bandwidth_bytes == pytest.approx(
+            slice_bw * 12, rel=0.2
+        )  # 24 cores / 2 simulated
+
+
+class TestStationarityGuard:
+    def test_dissimilar_routines_rejected(self, skl):
+        fast = _run(skl, routine="fast", gap=2.0)
+        slow = _run(skl, seed=9, routine="slow", gap=150.0)
+        with pytest.raises(StationarityError):
+            RoutineAnalyzer(skl).analyze_program([fast, slow])
+
+    def test_force_marks_non_stationary(self, skl):
+        fast = _run(skl, routine="fast", gap=2.0)
+        slow = _run(skl, seed=9, routine="slow", gap=150.0)
+        report = RoutineAnalyzer(skl).analyze_program([fast, slow], force=True)
+        assert report.non_stationary
+        assert "WARNING" in report.render()
+
+    def test_similar_routines_allowed(self, skl):
+        a = _run(skl, routine="a", seed=1)
+        b = _run(skl, routine="b", seed=2)
+        report = RoutineAnalyzer(skl).analyze_program([a, b])
+        assert not report.non_stationary
+
+    def test_empty_runs_rejected(self, skl):
+        with pytest.raises(ConfigurationError):
+            RoutineAnalyzer(skl).analyze_program([])

@@ -1,0 +1,74 @@
+"""Uncertainty propagation for the MLP metric."""
+
+import pytest
+
+from repro.core import (
+    decision_is_robust,
+    mlp_uncertainty,
+    profile_elasticity,
+    MlpCalculator,
+)
+from repro.errors import ConfigurationError
+
+
+class TestElasticity:
+    def test_flat_region_has_low_elasticity(self, skl):
+        calc = MlpCalculator(skl)
+        s = profile_elasticity(calc, 0.2 * skl.memory.peak_bw_bytes)
+        assert 0 <= s < 0.5
+
+    def test_knee_region_has_high_elasticity(self, skl):
+        """The SKL curve jumps 147->171 ns between 84% and 86%."""
+        calc = MlpCalculator(skl)
+        s = profile_elasticity(calc, 0.85 * skl.memory.peak_bw_bytes)
+        assert s > 1.0
+
+    def test_zero_bandwidth(self, skl):
+        assert profile_elasticity(MlpCalculator(skl), 0.0) == 0.0
+
+
+class TestUncertainty:
+    def test_error_grows_near_the_knee(self, skl):
+        low = mlp_uncertainty(skl, 0.2 * skl.memory.peak_bw_bytes)
+        knee = mlp_uncertainty(skl, 0.85 * skl.memory.peak_bw_bytes)
+        assert knee.n_avg_rel_error > low.n_avg_rel_error
+
+    def test_interval_brackets_point(self, knl):
+        u = mlp_uncertainty(knl, 233e9)
+        assert u.n_avg_low < u.result.n_avg < u.n_avg_high
+
+    def test_zero_errors_collapse_interval(self, skl):
+        u = mlp_uncertainty(
+            skl, 50e9, bandwidth_rel_error=0.0, latency_rel_error=0.0
+        )
+        assert u.n_avg_rel_error == 0.0
+        assert u.n_avg_low == u.n_avg_high
+
+    def test_negative_error_rejected(self, skl):
+        with pytest.raises(ConfigurationError):
+            mlp_uncertainty(skl, 50e9, bandwidth_rel_error=-0.1)
+
+    def test_render(self, skl):
+        text = mlp_uncertainty(skl, 106.9e9).render()
+        assert "±" in text or "+-" in text or "%" in text
+
+
+class TestDecisionRobustness:
+    def test_deep_headroom_is_robust(self, knl):
+        """CoMD-like point: far from any threshold."""
+        u = mlp_uncertainty(knl, 27e9)
+        assert decision_is_robust(u, knl, binding_level=2)
+
+    def test_boundary_point_is_fragile(self, knl):
+        """ISx-like point hovering at the L1 file with a big error bar."""
+        u = mlp_uncertainty(
+            knl, 233e9, bandwidth_rel_error=0.10, latency_rel_error=0.10
+        )
+        assert not decision_is_robust(u, knl, binding_level=1)
+
+    def test_saturated_point_is_robust(self, skl):
+        """ISx/SKL: even the low edge of the bar stays at FULL."""
+        u = mlp_uncertainty(
+            skl, 106.9e9, bandwidth_rel_error=0.01, latency_rel_error=0.01
+        )
+        assert decision_is_robust(u, skl, binding_level=1)

@@ -1,0 +1,122 @@
+"""Figures 1-2, the intro TMA critique, and the stall-migration validation."""
+
+import pytest
+
+from repro.experiments import (
+    FIGURE2,
+    reproduce_figure1,
+    reproduce_figure2,
+    reproduce_intro_snap,
+    reproduce_latency_counter_demo,
+    reproduce_stall_migration,
+)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return reproduce_figure1()
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return reproduce_figure2()
+
+
+class TestFigure1:
+    def test_covers_every_optimization_row(self, figure1):
+        assert figure1.total >= 28
+
+    def test_recipe_accuracy_is_total(self, figure1):
+        assert figure1.unexplained_disagreements == 0
+        assert figure1.accuracy == pytest.approx(1.0)
+
+    def test_traces_carry_decision_path(self, figure1):
+        trace = figure1.traces[0]
+        assert trace.binding_level in (1, 2)
+        assert 0 <= trace.occupancy_ratio < 3
+        assert trace.status in ("headroom", "near_full", "full")
+
+    def test_render(self, figure1):
+        text = figure1.render()
+        assert "accuracy" in text
+        assert "isx" in text
+
+
+class TestFigure2:
+    def test_l1_ceiling_near_paper_256(self, figure2):
+        assert figure2.l1_ceiling_bw_gbs == pytest.approx(
+            FIGURE2.l1_ceiling_bw_gbs, rel=0.05
+        )
+
+    def test_roofs_match_paper(self, figure2):
+        assert figure2.extended.roofline.peak_bw_gbs == FIGURE2.peak_bw_gbs
+        assert figure2.extended.roofline.peak_gflops == pytest.approx(
+            FIGURE2.peak_gflops, rel=0.01
+        )
+
+    def test_base_point_pinned_by_ceiling(self, figure2):
+        """The paper's argument: classic roofline misleads, ceiling explains."""
+        assert figure2.base_pinned_by_ceiling
+
+    def test_optimized_point_breaks_ceiling(self, figure2):
+        assert figure2.optimized_breaks_ceiling
+
+    def test_series_extended_bound_below_classic(self, figure2):
+        for _, classic, extended in figure2.series:
+            assert extended <= classic + 1e-9
+
+    def test_render(self, figure2):
+        assert "L1-MSHR ceiling" in figure2.render()
+
+
+class TestIntroSnap:
+    @pytest.fixture(scope="class")
+    def intro(self):
+        return reproduce_intro_snap(accesses_per_thread=2000)
+
+    def test_tma_split_is_unclear(self, intro):
+        """Neither bandwidth- nor latency-bound dominates (paper: 27/23)."""
+        assert intro.tma_guidance_is_unclear
+
+    def test_tma_latency_misleading(self, intro):
+        assert intro.tma_latency_misleading
+
+    def test_mlp_guidance_actionable(self, intro):
+        assert intro.mlp_guidance_is_actionable
+        assert not intro.mlp_report.decision.stop
+
+    def test_render(self, intro):
+        text = intro.render()
+        assert "TMA" in text and "dim3_sweep" in text
+
+
+class TestLatencyCounterDemo:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return reproduce_latency_counter_demo(accesses_per_thread=2000)
+
+    def test_streaming_underreports(self, demo):
+        """hpcg: counter says ~hit latency, true is ~378 cycles."""
+        assert demo.streaming_underreports
+        assert demo.streaming_true_latency_cycles > 200
+
+    def test_random_overreports(self, demo):
+        """ISx: most loads binned above 512 cycles."""
+        assert demo.random_overreports
+
+    def test_render(self, demo):
+        assert "under-report" in demo.render()
+
+
+class TestStallMigration:
+    @pytest.mark.parametrize("machine", ["knl", "a64fx"])
+    def test_bottleneck_migrates(self, machine):
+        result = reproduce_stall_migration(machine, accesses_per_thread=3000)
+        assert result.base_l1_full_fraction > 0.5
+        assert result.bottleneck_migrated
+        assert result.bandwidth_improved
+
+    def test_l2_occupancy_reaches_paper_range(self):
+        """KNL optimized ISx: L2 occupancy in the ~20s (paper n=20)."""
+        result = reproduce_stall_migration("knl", accesses_per_thread=3000)
+        assert result.prefetched_l2_occupancy > 15

@@ -1,0 +1,144 @@
+"""§III-H GPU extension: occupancy math and the occupancy advisor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    GpuAction,
+    GpuAdvisor,
+    GpuSpec,
+    KernelDescriptor,
+    a100_like,
+    mshr_demand,
+    occupancy,
+    sustainable_bandwidth_bytes,
+)
+
+
+def _kernel(**overrides):
+    defaults = dict(
+        name="k",
+        threads_per_block=256,
+        registers_per_thread=32,
+        shared_mem_per_block_bytes=0,
+        mlp_per_warp=2.0,
+    )
+    defaults.update(overrides)
+    return KernelDescriptor(**defaults)
+
+
+class TestOccupancyCalculator:
+    def test_warp_slot_limited(self):
+        report = occupancy(a100_like(), _kernel())
+        assert report.limiter == "warp_slots"
+        assert report.active_warps == 64
+
+    def test_register_limited(self):
+        report = occupancy(a100_like(), _kernel(registers_per_thread=128))
+        # 65536 regs / (128*256) = 2 blocks x 8 warps = 16 warps.
+        assert report.limiter == "registers"
+        assert report.active_warps == 16
+
+    def test_shared_memory_limited(self):
+        report = occupancy(
+            a100_like(), _kernel(shared_mem_per_block_bytes=96 * 1024)
+        )
+        # 164KiB/96KiB = 1 block x 8 warps.
+        assert report.limiter == "shared_memory"
+        assert report.active_warps == 8
+
+    def test_block_slot_limited(self):
+        report = occupancy(a100_like(), _kernel(threads_per_block=32))
+        # 32 blocks x 1 warp = 32 < 64 warp slots.
+        assert report.limiter == "block_slots"
+        assert report.active_warps == 32
+
+    def test_active_warps_never_exceed_slots(self):
+        report = occupancy(a100_like(), _kernel(registers_per_thread=0))
+        assert report.active_warps <= a100_like().max_warps_per_sm
+
+
+class TestMshrDemand:
+    def test_scales_with_occupancy_and_warp_mlp(self):
+        gpu = a100_like()
+        low = mshr_demand(gpu, _kernel(mlp_per_warp=1.0))
+        high = mshr_demand(gpu, _kernel(mlp_per_warp=2.0))
+        assert high == pytest.approx(2 * low)
+
+    def test_poor_coalescing_inflates_demand(self):
+        gpu = a100_like()
+        good = mshr_demand(gpu, _kernel(coalescing=1.0))
+        bad = mshr_demand(gpu, _kernel(coalescing=0.25))
+        assert bad == pytest.approx(4 * good)
+
+    def test_littles_law_bandwidth(self):
+        gpu = a100_like()
+        bw = sustainable_bandwidth_bytes(gpu, 10.0)
+        assert bw == pytest.approx(108 * 10 * 128 / 450e-9)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sustainable_bandwidth_bytes(a100_like(), -1.0)
+
+
+class TestGpuAdvisor:
+    def test_register_hog_gets_register_advice(self):
+        analysis = GpuAdvisor(a100_like()).analyze(
+            _kernel(registers_per_thread=128)
+        )
+        actions = [r.action for r in analysis.recommendations]
+        assert GpuAction.REDUCE_REGISTERS in actions
+
+    def test_shared_mem_hog_gets_shared_mem_advice(self):
+        analysis = GpuAdvisor(a100_like()).analyze(
+            _kernel(shared_mem_per_block_bytes=96 * 1024, mlp_per_warp=1.0)
+        )
+        actions = [r.action for r in analysis.recommendations]
+        assert GpuAction.REDUCE_SHARED_MEM in actions
+
+    def test_full_mshrs_get_shared_memory_reuse_advice(self):
+        """High occupancy -> '(increased) use of shared memory'."""
+        analysis = GpuAdvisor(a100_like()).analyze(_kernel(mlp_per_warp=4.0))
+        actions = [r.action for r in analysis.recommendations]
+        assert GpuAction.USE_SHARED_MEMORY in actions
+        assert analysis.mshr_fill_ratio > 0.9
+
+    def test_uncoalesced_kernel_flagged_first(self):
+        analysis = GpuAdvisor(a100_like()).analyze(_kernel(coalescing=0.2))
+        assert analysis.recommendations[0].action is GpuAction.IMPROVE_COALESCING
+
+    def test_balanced_kernel_no_action(self):
+        gpu = a100_like()
+        analysis = GpuAdvisor(gpu).analyze(
+            _kernel(registers_per_thread=48, mlp_per_warp=1.5)
+        )
+        if not analysis.bandwidth_bound and 0.5 < analysis.mshr_fill_ratio < 0.9:
+            assert analysis.recommendations[0].action is GpuAction.NONE
+
+    def test_render(self):
+        text = GpuAdvisor(a100_like()).analyze(_kernel()).render()
+        assert "warps/SM" in text and "MSHR" in text
+
+
+class TestValidation:
+    def test_kernel_validation(self):
+        with pytest.raises(ConfigurationError):
+            _kernel(mlp_per_warp=0.0)
+        with pytest.raises(ConfigurationError):
+            _kernel(coalescing=0.0)
+
+    def test_gpu_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec(
+                name="bad",
+                sms=0,
+                max_warps_per_sm=64,
+                warp_size=32,
+                registers_per_sm=65536,
+                shared_mem_per_sm_bytes=1,
+                max_blocks_per_sm=32,
+                mshrs_per_sm=96,
+                line_bytes=128,
+                peak_bw_gbs=1555.0,
+                loaded_latency_ns=450.0,
+            )

@@ -1,0 +1,111 @@
+"""Measurement ingestion: CSV and perf-style parsing into analyses."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import (
+    RoutineMeasurement,
+    analyze_measurements,
+    from_csv,
+    from_perf_output,
+)
+
+
+class TestCsv:
+    def test_basic_rows(self):
+        text = (
+            "routine,bandwidth_gbs,prefetch_fraction\n"
+            "count_local_keys,106.9,0.05\n"
+            "ComputeSPMV_ref,109.9,0.80\n"
+        )
+        rows = from_csv(text)
+        assert len(rows) == 2
+        assert rows[0].routine == "count_local_keys"
+        assert rows[0].bandwidth_bytes == pytest.approx(106.9e9)
+
+    def test_comments_and_blank_lines(self):
+        text = "# comment\n\nkernel,50.0,0.5\n"
+        assert len(from_csv(text)) == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_csv("routine,bandwidth,pf\n")
+
+    def test_short_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_csv("kernel,50.0\n")
+
+    def test_measurement_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoutineMeasurement("k", -1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            RoutineMeasurement("k", 1e9, 1.5)
+
+
+class TestPerfOutput:
+    def test_plain_aligned_format(self, skl):
+        # 1 second, 1e9 demand lines + 0.5e9 prefetch lines of 64B.
+        text = """
+         1,000,000,000      OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL
+           500,000,000      OFFCORE_RESPONSE_1:PF_ANY:L3_MISS_LOCAL
+         9,999,999,999      INST_RETIRED.ANY
+        """
+        m = from_perf_output(text, skl, elapsed_seconds=1.0, routine="r")
+        assert m.bandwidth_bytes == pytest.approx(1.5e9 * 64)
+        assert m.prefetch_fraction == pytest.approx(1 / 3)
+
+    def test_csv_format(self, skl):
+        text = (
+            "1000000000,,OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL\n"
+            "123,,CPU_CLK_UNHALTED.THREAD\n"
+        )
+        m = from_perf_output(text, skl, elapsed_seconds=2.0)
+        assert m.bandwidth_bytes == pytest.approx(1e9 * 64 / 2.0)
+
+    def test_a64fx_bus_counters(self, a64fx):
+        text = """
+         2,000,000      BUS_READ_TOTAL_MEM
+         1,000,000      BUS_WRITE_TOTAL_MEM
+        """
+        m = from_perf_output(text, a64fx, elapsed_seconds=0.001)
+        # 3e6 lines x 256B / 1ms
+        assert m.bandwidth_bytes == pytest.approx(3e6 * 256 / 1e-3)
+
+    def test_unknown_events_ignored(self, skl):
+        text = """
+         42      SOME_UNRELATED_EVENT
+         1,000   OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL
+        """
+        m = from_perf_output(text, skl, elapsed_seconds=1.0)
+        assert m.bandwidth_bytes == pytest.approx(1000 * 64)
+
+    def test_no_bandwidth_events_rejected(self, skl):
+        with pytest.raises(ConfigurationError) as err:
+            from_perf_output("42 SOMETHING_ELSE", skl, elapsed_seconds=1.0)
+        assert "OFFCORE" in str(err.value)
+
+    def test_empty_input_rejected(self, skl):
+        with pytest.raises(ConfigurationError):
+            from_perf_output("", skl, elapsed_seconds=1.0)
+
+    def test_bad_elapsed_rejected(self, skl):
+        with pytest.raises(ConfigurationError):
+            from_perf_output("1 X", skl, elapsed_seconds=0.0)
+
+
+class TestAnalyzeMeasurements:
+    def test_batch_analysis_matches_direct(self, skl):
+        measurements = from_csv(
+            "count_local_keys,106.9,0.05\nComputeSPMV_ref,109.9,0.80\n"
+        )
+        reports = analyze_measurements(skl, measurements)
+        assert len(reports) == 2
+        isx, hpcg = reports
+        assert isx.decision.binding_level == 1
+        assert isx.mlp.n_avg == pytest.approx(10.1, rel=0.05)
+        assert hpcg.decision.binding_level == 2
+
+    def test_with_measured_profile(self, skl, xmem_skl_profile):
+        measurements = [RoutineMeasurement("k", 60e9, 0.5)]
+        reports = analyze_measurements(skl, measurements, profile=xmem_skl_profile)
+        assert reports[0].mlp.n_avg > 0

@@ -1,0 +1,169 @@
+"""Optimization transforms and pipelines."""
+
+import pytest
+
+from repro.core import AccessPattern, OptimizationKind
+from repro.errors import OptimizationError
+from repro.optim import (
+    OptimizationPipeline,
+    TransformEffect,
+    WorkloadState,
+    kind_of_step,
+    label_of_step,
+    lookup_effect,
+    recipe_context_for,
+    validate_sequence,
+)
+
+
+def _state(**overrides):
+    defaults = dict(
+        workload="w",
+        machine_name="skl",
+        routine="k",
+        pattern=AccessPattern.RANDOM,
+        random_fraction=0.9,
+        binding_level=1,
+        demand_mlp=5.0,
+    )
+    defaults.update(overrides)
+    return WorkloadState(**defaults)
+
+
+class TestStepMapping:
+    def test_kind_of_step(self):
+        assert kind_of_step("vectorize") is OptimizationKind.VECTORIZATION
+        assert kind_of_step("smt2") is OptimizationKind.SMT
+        assert kind_of_step("smt4") is OptimizationKind.SMT
+        assert kind_of_step("l2_prefetch") is OptimizationKind.SW_PREFETCH_L2
+
+    def test_unknown_step(self):
+        with pytest.raises(OptimizationError):
+            kind_of_step("quantum_tunneling")
+
+    def test_labels(self):
+        assert label_of_step("smt2") == "2-ht"
+        assert label_of_step("loop_tiling") == "tiling"
+
+
+class TestWorkloadState:
+    def test_base_label(self):
+        assert _state().label == "base"
+
+    def test_paper_style_label(self):
+        state = _state(applied=("vectorize", "smt2"))
+        assert state.label == "+ vect, 2-ht"
+
+    def test_applied_kinds(self):
+        state = _state(applied=("vectorize", "smt2"))
+        assert state.applied_kinds == {
+            OptimizationKind.VECTORIZATION,
+            OptimizationKind.SMT,
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(binding_level=3),
+            dict(demand_mlp=0.0),
+            dict(traffic_factor=0.0),
+            dict(smt_ways=0),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(OptimizationError):
+            _state(**bad)
+
+
+class TestTransformEffect:
+    def test_demand_factor(self):
+        effect = TransformEffect(demand_factor=2.0)
+        after = effect.apply(_state(), "vectorize")
+        assert after.demand_mlp == pytest.approx(10.0)
+        assert after.applied == ("vectorize",)
+
+    def test_demand_absolute_overrides_factor(self):
+        effect = TransformEffect(demand_factor=2.0, demand_absolute=20.0)
+        assert effect.apply(_state(), "l2_prefetch").demand_mlp == 20.0
+
+    def test_traffic_factor_compounds(self):
+        effect = TransformEffect(traffic_factor=0.5)
+        once = effect.apply(_state(), "loop_tiling")
+        assert once.traffic_factor == pytest.approx(0.5)
+
+    def test_binding_shift(self):
+        effect = TransformEffect(shift_binding_to=2)
+        assert effect.apply(_state(), "l2_prefetch").binding_level == 2
+
+    def test_smt_ways(self):
+        effect = TransformEffect(smt_ways=2)
+        assert effect.apply(_state(), "smt2").smt_ways == 2
+
+    def test_double_application_rejected(self):
+        effect = TransformEffect()
+        state = effect.apply(_state(), "vectorize")
+        with pytest.raises(OptimizationError):
+            effect.apply(state, "vectorize")
+
+    def test_effect_validation(self):
+        with pytest.raises(OptimizationError):
+            TransformEffect(demand_factor=0.0)
+        with pytest.raises(OptimizationError):
+            TransformEffect(shift_binding_to=3)
+
+
+class TestLookup:
+    def test_machine_specific_wins(self):
+        table = {
+            "vectorize": TransformEffect(demand_factor=1.5),
+            "vectorize@knl": TransformEffect(demand_factor=3.0),
+        }
+        assert lookup_effect(table, "vectorize", "knl").demand_factor == 3.0
+        assert lookup_effect(table, "vectorize", "skl").demand_factor == 1.5
+
+    def test_missing_effect_raises(self):
+        with pytest.raises(OptimizationError):
+            lookup_effect({}, "vectorize", "skl")
+
+
+class TestPipeline:
+    def test_run_returns_all_states(self):
+        pipeline = OptimizationPipeline(
+            {
+                "vectorize": TransformEffect(demand_factor=2.0),
+                "smt2": TransformEffect(demand_factor=1.5, smt_ways=2),
+            }
+        )
+        states = pipeline.run(_state(), ["vectorize", "smt2"])
+        assert [s.label for s in states] == ["base", "+ vect", "+ vect, 2-ht"]
+        assert states[-1].demand_mlp == pytest.approx(15.0)
+
+    def test_pairs(self):
+        pipeline = OptimizationPipeline({"vectorize": TransformEffect()})
+        pairs = list(pipeline.pairs(_state(), ["vectorize"]))
+        assert len(pairs) == 1
+        before, step, after = pairs[0]
+        assert before.label == "base" and step == "vectorize"
+
+    def test_recipe_context_for(self):
+        state = _state(applied=("vectorize", "smt2"), smt_ways=2)
+        ctx = recipe_context_for(state)
+        assert OptimizationKind.VECTORIZATION in ctx.applied
+        assert ctx.smt_ways_used == 2
+
+
+class TestSequenceValidation:
+    def test_valid_sequence(self):
+        validate_sequence(["vectorize", "smt2", "smt4"])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(OptimizationError):
+            validate_sequence(["vectorize", "vectorize"])
+
+    def test_smt4_requires_smt2(self):
+        with pytest.raises(OptimizationError):
+            validate_sequence(["smt4"])
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(OptimizationError):
+            validate_sequence(["warp_drive"])

@@ -1,0 +1,58 @@
+"""Package metadata consistency."""
+
+from pathlib import Path
+
+import repro
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_version_matches_citation(self):
+        citation = (ROOT / "CITATION.cff").read_text()
+        assert f"version: {repro.__version__}" in citation
+
+
+class TestTopLevelApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_paper_machines_reachable_from_top_level(self):
+        machines = repro.paper_machines()
+        assert [m.name for m in machines] == ["skl", "knl", "a64fx"]
+
+
+class TestDocumentationFiles:
+    def test_required_documents_exist(self):
+        for name in (
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/TUTORIAL.md",
+            "docs/CALIBRATION.md",
+        ):
+            path = ROOT / name
+            assert path.exists(), name
+            assert len(path.read_text()) > 500, name
+
+    def test_design_indexes_every_bench(self):
+        """DESIGN.md's experiment index names each bench module."""
+        design = (ROOT / "DESIGN.md").read_text()
+        bench_dir = ROOT / "benchmarks"
+        missing = [
+            bench.name
+            for bench in bench_dir.glob("bench_*.py")
+            if bench.name not in design
+        ]
+        assert not missing, missing
+
+    def test_experiments_mentions_every_table(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for table in ("Table IV", "Table V", "Table VI", "Table VII",
+                      "Table VIII", "Table IX", "Figure 1", "Figure 2"):
+            assert table in experiments, table

@@ -1,0 +1,91 @@
+"""Property tests: GPU occupancy math and the CPU advisor loop."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Advisor, KEEP_THRESHOLD
+from repro.gpu import GpuAdvisor, KernelDescriptor, a100_like, occupancy
+from repro.machines import paper_machines
+from repro.workloads import ALL_WORKLOADS
+
+GPU = a100_like()
+
+kernels = st.builds(
+    KernelDescriptor,
+    name=st.just("k"),
+    threads_per_block=st.integers(32, 1024),
+    registers_per_thread=st.integers(0, 255),
+    shared_mem_per_block_bytes=st.integers(0, 160 * 1024),
+    mlp_per_warp=st.floats(min_value=0.1, max_value=16.0),
+    coalescing=st.floats(min_value=0.05, max_value=1.0),
+)
+
+
+class TestGpuOccupancyProperties:
+    @given(kernel=kernels)
+    def test_active_warps_within_every_limit(self, kernel):
+        report = occupancy(GPU, kernel)
+        assert 0 <= report.active_warps <= report.warp_limit
+        assert report.active_warps <= max(1, report.register_limit) or (
+            report.active_warps == 0
+        )
+        assert report.active_warps <= GPU.max_warps_per_sm
+
+    @given(kernel=kernels)
+    def test_limiter_is_the_binding_one(self, kernel):
+        report = occupancy(GPU, kernel)
+        limits = {
+            "warp_slots": report.warp_limit,
+            "registers": report.register_limit,
+            "shared_memory": report.shared_mem_limit,
+            "block_slots": report.block_limit,
+        }
+        assert limits[report.limiter] == min(limits.values())
+
+    @given(kernel=kernels)
+    def test_fewer_registers_never_reduce_occupancy(self, kernel):
+        if kernel.registers_per_thread == 0:
+            return
+        slimmer = KernelDescriptor(
+            name="k",
+            threads_per_block=kernel.threads_per_block,
+            registers_per_thread=kernel.registers_per_thread - 1,
+            shared_mem_per_block_bytes=kernel.shared_mem_per_block_bytes,
+            mlp_per_warp=kernel.mlp_per_warp,
+            coalescing=kernel.coalescing,
+        )
+        assert (
+            occupancy(GPU, slimmer).active_warps
+            >= occupancy(GPU, kernel).active_warps
+        )
+
+    @given(kernel=kernels)
+    def test_advisor_always_produces_a_recommendation(self, kernel):
+        analysis = GpuAdvisor(GPU).analyze(kernel)
+        assert analysis.recommendations
+        assert analysis.mshr_demand_per_sm >= 0
+
+
+class TestAdvisorLoopProperties:
+    @settings(max_examples=18, deadline=None)
+    @given(
+        workload_idx=st.integers(0, len(ALL_WORKLOADS) - 1),
+        machine_idx=st.integers(0, 2),
+        max_iterations=st.integers(1, 8),
+    )
+    def test_trajectory_invariants(self, workload_idx, machine_idx, max_iterations):
+        workload = ALL_WORKLOADS[workload_idx]
+        machine = paper_machines()[machine_idx]
+        result = Advisor(workload, machine, max_iterations=max_iterations).run()
+        # Every kept step clears the keep threshold.
+        for step in result.steps:
+            assert step.predicted_speedup >= KEEP_THRESHOLD
+        # No step applied twice; labels compose from the steps.
+        names = [s.step for s in result.steps]
+        assert len(names) == len(set(names))
+        assert len(result.steps) <= max_iterations
+        # Cumulative speedup is the product of the steps.
+        product = 1.0
+        for step in result.steps:
+            product *= step.predicted_speedup
+        assert abs(product - result.cumulative_speedup) < 1e-9

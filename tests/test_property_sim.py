@@ -1,0 +1,112 @@
+"""Property-based tests on the simulator's core invariants.
+
+The headline property: for ANY trace, the simulator's independently
+integrated MSHR occupancy equals arrival rate × average latency — i.e.
+Little's law is an emergent invariant of the discrete-event machinery,
+not an assumption wired into the statistics.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import get_machine
+from repro.sim import SimConfig, run_trace, trace_from_addresses
+
+SKL = get_machine("skl")
+
+
+def _trace_from_seed(seed: int, n: int, pattern: str, threads: int = 2):
+    rng = random.Random(seed)
+    lists = []
+    for t in range(threads):
+        addrs = []
+        if pattern == "random":
+            addrs = [rng.randrange(1 << 22) * 64 for _ in range(n)]
+        elif pattern == "stream":
+            base = t * (1 << 28)
+            addrs = [base + i * 8 for i in range(n)]
+        else:  # mixed
+            base = t * (1 << 28)
+            for i in range(n):
+                if rng.random() < 0.5:
+                    addrs.append(rng.randrange(1 << 22) * 64)
+                else:
+                    addrs.append(base + i * 8)
+        lists.append(addrs)
+    return trace_from_addresses(lists, line_bytes=64, gap_cycles=2.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    n=st.integers(200, 900),
+    pattern=st.sampled_from(["random", "stream", "mixed"]),
+    window=st.integers(2, 24),
+)
+def test_littles_law_emerges_from_any_trace(seed, n, pattern, window):
+    trace = _trace_from_seed(seed, n, pattern)
+    cfg = SimConfig(machine=SKL, sim_cores=2, window_per_core=window)
+    stats = run_trace(trace, cfg)
+    if stats.memory.latency_count < 20:
+        return  # nearly everything hit cache; nothing to check
+    check = stats.littles_law_check(2)
+    assert check["relative_error"] < 0.02
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    n=st.integers(200, 900),
+    pattern=st.sampled_from(["random", "stream", "mixed"]),
+    window=st.integers(2, 24),
+)
+def test_occupancy_never_exceeds_capacity(seed, n, pattern, window):
+    trace = _trace_from_seed(seed, n, pattern)
+    cfg = SimConfig(machine=SKL, sim_cores=2, window_per_core=window)
+    stats = run_trace(trace, cfg)
+    for tracker in stats.l1_occupancy:
+        assert tracker.peak <= SKL.l1.mshrs
+    for tracker in stats.l2_occupancy:
+        assert tracker.peak <= SKL.l2.mshrs
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    n=st.integers(200, 700),
+    pattern=st.sampled_from(["random", "stream", "mixed"]),
+)
+def test_byte_conservation(seed, n, pattern):
+    """Memory traffic equals lines moved x line size; nothing vanishes."""
+    trace = _trace_from_seed(seed, n, pattern)
+    cfg = SimConfig(machine=SKL, sim_cores=2, window_per_core=16)
+    stats = run_trace(trace, cfg)
+    total = (
+        stats.memory.demand_read_bytes
+        + stats.memory.demand_write_bytes
+        + stats.memory.prefetch_bytes
+    )
+    assert total == stats.memory.total_bytes
+    assert total % 64 == 0
+    assert stats.memory.requests * 64 == total
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20), n=st.integers(200, 700))
+def test_all_issued_accesses_retire(seed, n):
+    trace = _trace_from_seed(seed, n, "mixed")
+    cfg = SimConfig(machine=SKL, sim_cores=2, window_per_core=8)
+    stats = run_trace(trace, cfg)
+    issued = sum(c.issued_accesses for c in stats.cores)
+    assert issued == trace.total_accesses
+    assert all(c.finished for c in stats.cores)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20), n=st.integers(200, 600))
+def test_hits_plus_misses_equals_demand_lookups(seed, n):
+    trace = _trace_from_seed(seed, n, "mixed")
+    stats = run_trace(trace, SimConfig(machine=SKL, sim_cores=2, window_per_core=8))
+    assert stats.l1.hits + stats.l1.misses == trace.total_accesses

@@ -1,0 +1,96 @@
+"""Cache tag arrays: hits, LRU, eviction, writebacks."""
+
+import pytest
+
+from repro.machines import CacheSpec
+from repro.sim import CacheArray
+
+
+def _tiny_cache(ways: int = 2, sets: int = 4) -> CacheArray:
+    spec = CacheSpec(1, sets * ways * 64, 64, 10, associativity=ways)
+    return CacheArray(spec, "test")
+
+
+class TestBasics:
+    def test_miss_then_fill_then_hit(self):
+        cache = _tiny_cache()
+        assert not cache.access(0)
+        cache.fill(0)
+        assert cache.access(0)
+
+    def test_line_of_alignment(self):
+        cache = _tiny_cache()
+        assert cache.line_of(100) == 64
+        assert cache.line_of(63) == 0
+
+    def test_probe_does_not_touch_lru(self):
+        cache = _tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        cache.probe(0)  # must NOT refresh line 0
+        cache.fill(128)  # evicts LRU = line 0
+        assert not cache.probe(0)
+        assert cache.probe(64)
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        cache = _tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        cache.access(0)  # 0 becomes MRU
+        cache.fill(128)  # evicts 64
+        assert cache.probe(0)
+        assert not cache.probe(64)
+
+    def test_refill_refreshes_without_eviction(self):
+        cache = _tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        assert cache.fill(0) is None  # already present
+        assert cache.resident_lines() == 2
+
+
+class TestDirtyWritebacks:
+    def test_clean_eviction_returns_none(self):
+        cache = _tiny_cache(ways=1, sets=1)
+        cache.fill(0)
+        assert cache.fill(64) is None
+
+    def test_dirty_eviction_returns_victim(self):
+        cache = _tiny_cache(ways=1, sets=1)
+        cache.fill(0, dirty=True)
+        assert cache.fill(64) == 0
+        assert cache.dirty_evictions == 1
+
+    def test_write_access_marks_dirty(self):
+        cache = _tiny_cache(ways=1, sets=1)
+        cache.fill(0)
+        cache.access(0, write=True)
+        assert cache.fill(64) == 0  # write made it dirty
+
+
+class TestInvalidate:
+    def test_invalidate_present_line(self):
+        cache = _tiny_cache()
+        cache.fill(0)
+        assert cache.invalidate(0)
+        assert not cache.probe(0)
+
+    def test_invalidate_absent_line(self):
+        assert not _tiny_cache().invalidate(0)
+
+
+class TestSetMapping:
+    def test_different_sets_do_not_conflict(self):
+        cache = _tiny_cache(ways=1, sets=4)
+        for i in range(4):
+            cache.fill(i * 64)
+        assert cache.resident_lines() == 4
+        assert cache.evictions == 0
+
+    def test_same_set_conflicts(self):
+        cache = _tiny_cache(ways=1, sets=4)
+        cache.fill(0)
+        cache.fill(4 * 64)  # maps to set 0 again
+        assert cache.evictions == 1

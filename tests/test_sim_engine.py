@@ -1,0 +1,90 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(10.0, lambda: order.append("b"))
+        engine.schedule(5.0, lambda: order.append("a"))
+        engine.schedule(20.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = Engine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(7.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [7.5]
+        assert engine.now == 7.5
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(1.0, lambda: order.append("nested"))
+
+        engine.schedule(0.0, first)
+        engine.run()
+        assert order == ["first", "nested"]
+
+    def test_schedule_at_absolute(self):
+        engine = Engine()
+        times = []
+        engine.schedule_at(3.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestRunLimits:
+    def test_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(100.0, lambda: fired.append(2))
+        engine.run(until_ns=50.0)
+        assert fired == [1]
+        assert engine.pending() == 1
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def loop():
+            engine.schedule(1.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_fired == 5

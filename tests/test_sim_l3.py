@@ -1,0 +1,75 @@
+"""Shared-LLC (L3) modeling: the SKL memory-traffic boundary."""
+
+import random
+
+import pytest
+
+from repro.sim import SimConfig, run_trace, trace_from_addresses
+
+
+def _reuse_trace(lines, line=64, reps=2):
+    """Two passes over a working set bigger than L2 but inside the L3."""
+    addrs = []
+    for _ in range(reps):
+        addrs.extend(i * line for i in range(lines))
+    return trace_from_addresses([addrs, list(addrs)], line_bytes=line, gap_cycles=1.0)
+
+
+def _random_trace(n=1200, line=64, seed=3):
+    rng = random.Random(seed)
+    return trace_from_addresses(
+        [[rng.randrange(1 << 23) * line for _ in range(n)] for _ in range(2)],
+        line_bytes=line,
+        gap_cycles=2.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def reuse_runs(skl):
+    """One L2-spilling reuse trace run with and without the L3."""
+    # 18k lines x 64B = 1.1 MiB per thread: spills the 1 MiB L2, fits
+    # the 2.75 MiB shared-L3 slice of a 2-core sim.
+    trace = _reuse_trace(lines=18000)
+
+    def config(l3: bool) -> SimConfig:
+        return SimConfig(
+            machine=skl,
+            sim_cores=2,
+            window_per_core=8,
+            hw_prefetch=False,
+            l3_enabled=l3,
+        )
+
+    return run_trace(trace, config(False)), run_trace(trace, config(True))
+
+
+@pytest.fixture(scope="module")
+def random_l3_run(skl):
+    return run_trace(
+        _random_trace(),
+        SimConfig(machine=skl, sim_cores=2, window_per_core=16, l3_enabled=True),
+    )
+
+
+class TestL3Filtering:
+    def test_l3_absorbs_l2_capacity_misses(self, reuse_runs):
+        """Second pass hits the LLC; memory traffic is filtered down."""
+        without, with_l3 = reuse_runs
+        assert with_l3.l3.hits > 0
+        assert with_l3.memory.total_bytes < without.memory.total_bytes
+
+    def test_l3_hits_are_faster_than_memory(self, reuse_runs):
+        without, with_l3 = reuse_runs
+        assert with_l3.elapsed_ns < without.elapsed_ns
+
+    def test_l3_stats_zero_when_disabled(self, skl, small_skl_config):
+        stats = run_trace(_random_trace(n=400), small_skl_config)
+        assert stats.l3.hits == 0 and stats.l3.misses == 0
+
+    def test_random_over_huge_region_misses_l3(self, random_l3_run):
+        """Random lines over 512MiB: the L3 filters almost nothing."""
+        stats = random_l3_run
+        assert stats.l3.misses > 10 * max(1, stats.l3.hits)
+
+    def test_littles_law_holds_with_l3(self, random_l3_run):
+        assert random_l3_run.littles_law_check(2)["relative_error"] < 0.05

@@ -1,0 +1,114 @@
+"""MSHR file semantics: allocation, merging, release, waiters."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import MshrFile
+
+
+class TestAllocation:
+    def test_allocate_tracks_occupancy(self):
+        mshr = MshrFile("t", 4)
+        mshr.allocate(0.0, 0x1000, is_prefetch=False)
+        assert mshr.occupancy == 1
+        assert not mshr.is_full
+
+    def test_fills_to_capacity(self):
+        mshr = MshrFile("t", 2)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        mshr.allocate(0.0, 0x40, is_prefetch=False)
+        assert mshr.is_full
+
+    def test_duplicate_allocation_rejected(self):
+        mshr = MshrFile("t", 4)
+        mshr.allocate(0.0, 0x1000, is_prefetch=False)
+        with pytest.raises(SimulationError):
+            mshr.allocate(1.0, 0x1000, is_prefetch=False)
+
+    def test_allocate_on_full_rejected(self):
+        mshr = MshrFile("t", 1)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        with pytest.raises(SimulationError):
+            mshr.allocate(0.0, 0x40, is_prefetch=False)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            MshrFile("t", 0)
+
+
+class TestMerging:
+    def test_secondary_miss_merges_without_new_entry(self):
+        """Duplicate requests never allocate a second MSHR (paper III-A)."""
+        mshr = MshrFile("t", 4)
+        mshr.allocate(0.0, 0x1000, is_prefetch=False)
+        called = []
+        mshr.merge(0x1000, lambda: called.append(1), demand=True)
+        assert mshr.occupancy == 1
+        assert mshr.merges == 1
+
+    def test_demand_merge_upgrades_prefetch_entry(self):
+        mshr = MshrFile("t", 4)
+        entry = mshr.allocate(0.0, 0x1000, is_prefetch=True)
+        mshr.merge(0x1000, None, demand=True)
+        assert not entry.is_prefetch
+
+    def test_merge_without_entry_rejected(self):
+        with pytest.raises(SimulationError):
+            MshrFile("t", 4).merge(0x1000, None, demand=True)
+
+
+class TestRelease:
+    def test_release_returns_waiters(self):
+        mshr = MshrFile("t", 4)
+        mshr.allocate(0.0, 0x1000, is_prefetch=False)
+        done = []
+        mshr.merge(0x1000, lambda: done.append("a"), demand=True)
+        entry = mshr.release(10.0, 0x1000)
+        assert len(entry.waiters) == 1
+        assert mshr.occupancy == 0
+
+    def test_release_without_entry_rejected(self):
+        with pytest.raises(SimulationError):
+            MshrFile("t", 4).release(0.0, 0x1000)
+
+    def test_release_wakes_free_waiters(self):
+        mshr = MshrFile("t", 1)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        woken = []
+        mshr.wait_for_free(lambda: woken.append(1))
+        mshr.release(5.0, 0x0)
+        assert woken == [1]
+
+    def test_free_waiters_fire_once(self):
+        mshr = MshrFile("t", 1)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        woken = []
+        mshr.wait_for_free(lambda: woken.append(1))
+        mshr.release(5.0, 0x0)
+        mshr.allocate(6.0, 0x40, is_prefetch=False)
+        mshr.release(7.0, 0x40)
+        assert woken == [1]
+
+
+class TestOccupancyIntegral:
+    def test_time_average_occupancy(self):
+        """One entry held 10ns within a 20ns window averages 0.5."""
+        mshr = MshrFile("t", 4)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        mshr.release(10.0, 0x0)
+        mshr.tracker.update(20.0)
+        assert mshr.tracker.average(20.0) == pytest.approx(0.5)
+
+    def test_full_time_accounting(self):
+        mshr = MshrFile("t", 1)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        mshr.release(8.0, 0x0)
+        mshr.tracker.update(10.0)
+        assert mshr.tracker.full_time_ns == pytest.approx(8.0)
+
+    def test_peak_tracking(self):
+        mshr = MshrFile("t", 3)
+        mshr.allocate(0.0, 0x0, is_prefetch=False)
+        mshr.allocate(1.0, 0x40, is_prefetch=False)
+        mshr.release(2.0, 0x0)
+        assert mshr.tracker.peak == 2

@@ -1,0 +1,91 @@
+"""Stream prefetcher: training, stream limits, random-blindness."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import StreamPrefetcher
+
+
+def _feed_stream(pf: StreamPrefetcher, start_line: int, count: int, line=64):
+    """Feed a unit-stride line stream; return all prefetch candidates."""
+    out = []
+    for i in range(count):
+        out.extend(pf.observe((start_line + i) * line))
+    return out
+
+
+class TestTraining:
+    def test_needs_training_before_issuing(self):
+        pf = StreamPrefetcher(64, train_threshold=2)
+        assert pf.observe(0) == []
+        assert pf.observe(64) == []  # first step: confidence 1
+
+    def test_issues_after_training(self):
+        pf = StreamPrefetcher(64, train_threshold=2, degree=2, distance=8)
+        candidates = _feed_stream(pf, 0, 5)
+        assert candidates  # stream detected
+        # Prefetches run ahead of the demand stream.
+        assert min(candidates) >= 8 * 64
+
+    def test_descending_stream_detected(self):
+        pf = StreamPrefetcher(64, train_threshold=2)
+        out = []
+        for i in range(60, 40, -1):
+            out.extend(pf.observe(i * 64))
+        assert out
+        assert all(addr < 60 * 64 for addr in out)
+
+    def test_random_accesses_never_trigger(self):
+        """The ISx property: random pages defeat the prefetcher."""
+        import random
+
+        rng = random.Random(3)
+        pf = StreamPrefetcher(64)
+        out = []
+        for _ in range(300):
+            out.extend(pf.observe(rng.randrange(1 << 30) // 64 * 64))
+        assert pf.issued <= 4  # essentially nothing
+
+    def test_same_line_repeats_are_ignored(self):
+        pf = StreamPrefetcher(64)
+        for _ in range(10):
+            assert pf.observe(0) == []
+
+
+class TestStreamLimit:
+    def test_tracks_limited_streams(self):
+        """KNL's 16-stream tracker (paper Section IV-B)."""
+        pf = StreamPrefetcher(64, max_streams=4)
+        # Touch 8 distinct pages: only 4 stream slots exist.
+        for page in range(8):
+            pf.observe(page * 4096)
+        assert pf.active_streams <= 4
+
+    def test_stale_stream_evicted_for_new_one(self):
+        pf = StreamPrefetcher(64, max_streams=2, train_threshold=2)
+        _feed_stream(pf, 0, 4)  # page 0 live
+        pf.observe(1 * 4096)  # page 1
+        pf.observe(2 * 4096)  # page 2 evicts the stalest
+        assert pf.active_streams == 2
+
+
+class TestToggle:
+    def test_disabled_prefetcher_is_silent(self):
+        pf = StreamPrefetcher(64, enabled=False)
+        assert _feed_stream(pf, 0, 20) == []
+        assert pf.issued == 0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            StreamPrefetcher(0)
+        with pytest.raises(SimulationError):
+            StreamPrefetcher(64, degree=0)
+
+    def test_degree_controls_burst_size(self):
+        pf = StreamPrefetcher(64, degree=4, train_threshold=2)
+        candidates = []
+        for i in range(3):
+            candidates = pf.observe(i * 64) or candidates
+        assert len(candidates) == 4

@@ -1,0 +1,90 @@
+"""Trace records and builders."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim import Access, AccessKind, ThreadTrace, Trace, trace_from_addresses
+from repro.sim.trace import interleave_kinds
+
+
+class TestAccessKind:
+    def test_prefetch_classification(self):
+        assert AccessKind.SWPF_L2.is_prefetch
+        assert AccessKind.SWPF_L1.is_prefetch
+        assert not AccessKind.LOAD.is_prefetch
+        assert AccessKind.STORE.is_demand
+
+
+class TestAccess:
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            Access(-1)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(TraceError):
+            Access(0, gap_cycles=-1.0)
+
+
+class TestThreadTrace:
+    def test_demand_count_excludes_prefetch(self):
+        trace = ThreadTrace(
+            0,
+            (
+                Access(0, AccessKind.LOAD),
+                Access(64, AccessKind.SWPF_L2),
+                Access(128, AccessKind.STORE),
+            ),
+        )
+        assert len(trace) == 3
+        assert trace.demand_count == 2
+
+    def test_rejects_negative_thread_id(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(-1, ())
+
+
+class TestTrace:
+    def test_totals(self):
+        trace = trace_from_addresses([[0, 64], [128]], routine="r")
+        assert trace.total_accesses == 3
+        assert trace.total_demand == 3
+        assert trace.routine == "r"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            Trace(threads=())
+
+    def test_rejects_duplicate_thread_ids(self):
+        t = ThreadTrace(0, (Access(0),))
+        with pytest.raises(TraceError):
+            Trace(threads=(t, t))
+
+    def test_rejects_bad_line_bytes(self):
+        t = ThreadTrace(0, (Access(0),))
+        with pytest.raises(TraceError):
+            Trace(threads=(t,), line_bytes=0)
+
+
+class TestBuilders:
+    def test_trace_from_addresses_kinds_and_gaps(self):
+        trace = trace_from_addresses(
+            [[0, 64]], kind=AccessKind.STORE, gap_cycles=3.0
+        )
+        acc = trace.threads[0].accesses[0]
+        assert acc.kind == AccessKind.STORE
+        assert acc.gap_cycles == 3.0
+
+    def test_interleave_kinds_cycles_pattern(self):
+        out = interleave_kinds(
+            [0, 64, 128, 192], [AccessKind.LOAD, AccessKind.STORE]
+        )
+        assert [a.kind for a in out] == [
+            AccessKind.LOAD,
+            AccessKind.STORE,
+            AccessKind.LOAD,
+            AccessKind.STORE,
+        ]
+
+    def test_interleave_rejects_empty_pattern(self):
+        with pytest.raises(TraceError):
+            interleave_kinds([0], [])

@@ -1,0 +1,47 @@
+"""SMT contention experiment (repro.experiments.smt_contention)."""
+
+import pytest
+
+from repro.experiments import contention_survey, measure_contention
+from repro.machines import get_machine
+from repro.workloads import get_workload
+
+
+class TestMeasureContention:
+    def test_comd_l1_contention(self):
+        result = measure_contention(
+            get_workload("comd"), get_machine("skl"), accesses_per_thread=1500
+        )
+        assert result.l1_miss_inflation > 1.3
+        assert result.contended
+
+    def test_isx_is_the_control(self):
+        result = measure_contention(
+            get_workload("isx"), get_machine("skl"), accesses_per_thread=1500
+        )
+        assert not result.contended
+        assert result.l1_miss_inflation == pytest.approx(1.0, abs=0.1)
+
+    def test_tiled_minighost_l2_contention(self):
+        result = measure_contention(
+            get_workload("minighost"),
+            get_machine("knl"),
+            steps=("loop_tiling",),
+            accesses_per_thread=2500,
+        )
+        assert result.dram_demand_inflation > 1.3
+
+    def test_render_flags_contention(self):
+        result = measure_contention(
+            get_workload("comd"), get_machine("skl"), accesses_per_thread=1200
+        )
+        assert "contended" in result.render()
+
+
+class TestSurvey:
+    def test_survey_shape(self):
+        results = contention_survey(accesses_per_thread=1500)
+        names = [r.workload for r in results]
+        assert names == ["comd", "minighost", "isx"]
+        assert results[0].contended and results[1].contended
+        assert not results[2].contended

@@ -1,0 +1,61 @@
+"""Unit conversions: the arithmetic everything else leans on."""
+
+import pytest
+
+from repro import units
+
+
+class TestBandwidth:
+    def test_gb_per_s_roundtrip(self):
+        assert units.to_gb_per_s(units.gb_per_s(128.0)) == pytest.approx(128.0)
+
+    def test_gb_per_s_is_decimal(self):
+        assert units.gb_per_s(1.0) == 1e9
+
+
+class TestLatency:
+    def test_ns_roundtrip(self):
+        assert units.to_ns(units.ns(145.0)) == pytest.approx(145.0)
+
+    def test_paper_latency_cycle_conversion(self):
+        # "180ns or 378 cycles" at SKL's 2.1 GHz (paper Section I).
+        assert units.ns_to_cycles(180, 2.1) == pytest.approx(378)
+
+    def test_cycles_to_ns_inverse(self):
+        assert units.cycles_to_ns(units.ns_to_cycles(93.0, 1.4), 1.4) == pytest.approx(
+            93.0
+        )
+
+    def test_cycles_to_ns_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(100, 0.0)
+
+
+class TestSecondsCycles:
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(1e-9, 2.1e9) == pytest.approx(2.1)
+
+    def test_cycles_to_seconds_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(10, -1.0)
+
+
+class TestUtilization:
+    def test_basic_fraction(self):
+        assert units.utilization(64.0, 128.0) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            units.utilization(1.0, 0.0)
+
+    def test_rejects_negative_observed(self):
+        with pytest.raises(ValueError):
+            units.utilization(-1.0, 10.0)
+
+    def test_percent(self):
+        assert units.percent(0.84) == pytest.approx(84.0)
+
+
+class TestFrequency:
+    def test_ghz_roundtrip(self):
+        assert units.to_ghz(units.ghz(2.1)) == pytest.approx(2.1)

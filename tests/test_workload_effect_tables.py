@@ -1,0 +1,53 @@
+"""Calibration hygiene: every workload effect is resolvable & documented."""
+
+import pytest
+
+from repro.machines import paper_machines
+from repro.optim import lookup_effect
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+class TestEffectTables:
+    def test_every_planned_step_resolves(self, workload):
+        """Each row plan's steps must have an effect for that machine."""
+        for machine in paper_machines():
+            if machine.name not in workload.machines():
+                continue
+            for source_steps, step in workload.row_plan(machine.name):
+                for name in list(source_steps) + ([step] if step else []):
+                    effect = lookup_effect(workload.effects, name, machine.name)
+                    assert effect is not None
+
+    def test_every_effect_has_a_rationale(self, workload):
+        """Calibrated factors must carry their paper-grounded reasons."""
+        for key, effect in workload.effects.items():
+            assert effect.rationale.strip(), f"{workload.name}:{key} undocumented"
+
+    def test_smt_effects_set_ways(self, workload):
+        for key, effect in workload.effects.items():
+            step = key.split("@")[0]
+            if step == "smt2":
+                assert effect.smt_ways == 2, key
+            if step == "smt4":
+                assert effect.smt_ways == 4, key
+
+    def test_only_l2_prefetch_shifts_binding(self, workload):
+        for key, effect in workload.effects.items():
+            step = key.split("@")[0]
+            if effect.shift_binding_to is not None:
+                assert step == "l2_prefetch", key
+
+    def test_base_demand_positive_and_sane(self, workload):
+        for machine in paper_machines():
+            cal = workload.calibration(machine.name)
+            # Base occupancies never exceed the L2 file (tables confirm).
+            assert 0 < cal.demand_mlp <= machine.l2.mshrs + 1
+
+    def test_plans_end_in_terminal_or_opt(self, workload):
+        """Every machine's plan mirrors a paper table structure."""
+        for machine_name in workload.machines():
+            plan = workload.row_plan(machine_name)
+            assert plan, f"{workload.name}@{machine_name} has an empty plan"
+            sources = [steps for steps, _ in plan]
+            assert sources[0] == (), "plans must start from base"

@@ -27,6 +27,25 @@ from .machines.registry import get_machine, machine_names, paper_machines
 from .xmem.runner import XMemConfig, characterize_machine
 
 
+def _apply_perf_flags(args: argparse.Namespace) -> None:
+    """Honor ``--no-cache`` before any simulation runs."""
+    if getattr(args, "no_cache", False):
+        from .perf.cache import configure_cache
+
+        configure_cache(enabled=False)
+
+
+def _print_cache_summary() -> None:
+    """One-line sim-cache accounting for the command that just ran."""
+    from .perf.cache import get_cache
+
+    cache = get_cache()
+    if cache.enabled:
+        print(f"sim cache: {cache.counters.summary()} ({cache.cache_dir})")
+    else:
+        print("sim cache: disabled")
+
+
 def _cmd_machines(_: argparse.Namespace) -> int:
     for machine in paper_machines():
         print(machine.describe())
@@ -34,15 +53,22 @@ def _cmd_machines(_: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    import time
+
+    _apply_perf_flags(args)
     machine = get_machine(args.machine)
     config = XMemConfig(levels=args.levels)
-    profile = characterize_machine(machine, config)
+    start = time.perf_counter()
+    profile = characterize_machine(machine, config, jobs=args.jobs)
+    wall = time.perf_counter() - start
     print(
         f"latency profile for {machine.name} "
         f"({len(profile.points)} samples, source={profile.source})"
     )
     for point in profile.points:
         print(f"  {point.bandwidth_gbs:8.1f} GB/s -> {point.latency_ns:6.1f} ns")
+    print(f"characterized in {wall:.2f}s wall")
+    _print_cache_summary()
     if args.out:
         profile.save(args.out)
         print(f"saved to {args.out}")
@@ -90,8 +116,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    from .experiments.harness import reproduce_all_tables, reproduce_table
+    from .experiments.harness import reproduce_table_timed
+    from .perf.parallel import fan_out
 
+    _apply_perf_flags(args)
     if args.json:
         from .experiments.export import export_json
 
@@ -100,23 +128,30 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         return 0
 
     if args.table == "all":
-        tables = reproduce_all_tables()
+        from .experiments.paperdata import CASE_STUDY_TABLES
+
+        names = list(CASE_STUDY_TABLES)
     else:
-        tables = {args.table: reproduce_table(args.table)}
+        names = [args.table]
+    timed = fan_out(reproduce_table_timed, names, jobs=args.jobs)
     ok = True
-    for name, table in tables.items():
-        print(table.render())
+    for entry in timed:
+        print(entry.table.render())
+        print(entry.summary())
         print()
-        ok = ok and table.all_ok
+        ok = ok and entry.table.all_ok
+    _print_cache_summary()
     print("overall:", "all rows within tolerance" if ok else "SOME ROWS OUT OF BAND")
     return 0 if ok else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .sim import SimConfig, run_trace
+    from .perf.cache import cached_run_trace
+    from .sim import SimConfig
     from .workloads import get_workload
     from .workloads.base import TraceSpec
 
+    _apply_perf_flags(args)
     machine = get_machine(args.machine)
     workload = get_workload(args.workload)
     steps = tuple(args.steps.split(",")) if args.steps else ()
@@ -125,7 +160,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         steps=steps,
         spec=TraceSpec(threads=args.cores, accesses_per_thread=args.accesses),
     )
-    stats = run_trace(
+    stats = cached_run_trace(
         trace,
         SimConfig(
             machine=machine, sim_cores=args.cores, window_per_core=args.window
@@ -149,6 +184,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print()
     report = RoutineAnalyzer(machine).analyze_run(stats)
     print(report.render())
+    _print_cache_summary()
     return 0
 
 
@@ -185,11 +221,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared execution-performance flags for simulation-backed commands.
+    perf_flags = argparse.ArgumentParser(add_help=False)
+    perf_flags.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for independent simulations "
+        "(default: REPRO_JOBS or serial; 0 = one per CPU)",
+    )
+    perf_flags.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed simulation result cache",
+    )
+
     sub.add_parser("machines", help="list modeled platforms").set_defaults(
         func=_cmd_machines
     )
 
-    p_char = sub.add_parser("characterize", help="measure a latency profile")
+    p_char = sub.add_parser(
+        "characterize", help="measure a latency profile", parents=[perf_flags]
+    )
     p_char.add_argument("--machine", required=True, choices=machine_names())
     p_char.add_argument("--levels", type=int, default=12, help="load levels")
     p_char.add_argument("--out", help="save profile JSON here")
@@ -221,7 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ing.add_argument("--routine", default="kernel")
     p_ing.set_defaults(func=_cmd_ingest)
 
-    p_rep = sub.add_parser("reproduce", help="regenerate paper tables")
+    p_rep = sub.add_parser(
+        "reproduce", help="regenerate paper tables", parents=[perf_flags]
+    )
     p_rep.add_argument(
         "--table",
         default="all",
@@ -233,7 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.set_defaults(func=_cmd_reproduce)
 
     p_sim = sub.add_parser(
-        "simulate", help="run a workload trace on the simulator and analyze it"
+        "simulate",
+        help="run a workload trace on the simulator and analyze it",
+        parents=[perf_flags],
     )
     p_sim.add_argument("--machine", required=True, choices=machine_names())
     p_sim.add_argument(

@@ -70,5 +70,13 @@ class OptimizationError(ReproError):
     """An optimization transform could not be applied to a workload."""
 
 
+class CacheError(ReproError):
+    """The simulation result cache was misused or misconfigured."""
+
+
+class CacheKeyError(CacheError):
+    """A simulation input could not be reduced to a stable cache digest."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness failure (missing paper data, bad shape check)."""

@@ -20,11 +20,13 @@ import importlib
 import random
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core import recipe as recipe_module
 from ..machines.registry import get_machine
-from ..sim.hierarchy import SimConfig, run_trace
+from ..perf.cache import cached_run_trace
+from ..perf.parallel import fan_out
+from ..sim.hierarchy import SimConfig
 from ..sim.trace import ThreadTrace, Trace
 from ..workloads.generators import random_updates
 from .harness import RecipeScore, reproduce_all_tables, score_recipe
@@ -147,45 +149,56 @@ class PrefetchDistancePoint:
     elapsed_ns: float
 
 
+def _distance_point(args: Tuple[int, str, int, int]) -> PrefetchDistancePoint:
+    """One sweep point, self-contained and picklable for fan-out workers."""
+    distance, machine_name, accesses_per_thread, seed = args
+    machine = get_machine(machine_name)
+    rng = random.Random(seed)
+    threads = []
+    for t in range(2):
+        accesses = random_updates(
+            accesses_per_thread,
+            machine.line_bytes,
+            random.Random(rng.randrange(2**31)),
+            region_id=4 * t,
+            gap_cycles=12.0,
+            prefetch_to_l2=distance > 0,
+            prefetch_distance=max(distance, 1),
+        )
+        threads.append(ThreadTrace(t, tuple(accesses)))
+    trace = Trace(
+        tuple(threads),
+        routine=f"isx_d{distance}",
+        line_bytes=machine.line_bytes,
+    )
+    stats = cached_run_trace(
+        trace, SimConfig(machine=machine, sim_cores=2, window_per_core=14)
+    )
+    return PrefetchDistancePoint(
+        distance=distance,
+        l1_full_fraction=stats.mshr_full_fraction(1),
+        l2_occupancy=stats.avg_occupancy(2),
+        bandwidth_gbs=stats.bandwidth_bytes_per_s() / 1e9,
+        elapsed_ns=stats.elapsed_ns,
+    )
+
+
 def prefetch_distance_sweep(
     distances: Sequence[int] = (0, 4, 16, 64),
     *,
     machine_name: str = "knl",
     accesses_per_thread: int = 3000,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[PrefetchDistancePoint]:
-    """ISx-on-simulator sweep over the prefetch lead distance."""
-    machine = get_machine(machine_name)
-    out = []
-    for distance in distances:
-        rng = random.Random(seed)
-        threads = []
-        for t in range(2):
-            accesses = random_updates(
-                accesses_per_thread,
-                machine.line_bytes,
-                random.Random(rng.randrange(2**31)),
-                region_id=4 * t,
-                gap_cycles=12.0,
-                prefetch_to_l2=distance > 0,
-                prefetch_distance=max(distance, 1),
-            )
-            threads.append(ThreadTrace(t, tuple(accesses)))
-        trace = Trace(
-            tuple(threads),
-            routine=f"isx_d{distance}",
-            line_bytes=machine.line_bytes,
-        )
-        stats = run_trace(
-            trace, SimConfig(machine=machine, sim_cores=2, window_per_core=14)
-        )
-        out.append(
-            PrefetchDistancePoint(
-                distance=distance,
-                l1_full_fraction=stats.mshr_full_fraction(1),
-                l2_occupancy=stats.avg_occupancy(2),
-                bandwidth_gbs=stats.bandwidth_bytes_per_s() / 1e9,
-                elapsed_ns=stats.elapsed_ns,
-            )
-        )
-    return out
+    """ISx-on-simulator sweep over the prefetch lead distance.
+
+    Each distance is an independent (seeded) simulation; with
+    ``jobs > 1`` the grid points run in worker processes and the result
+    order still follows ``distances`` exactly.
+    """
+    return fan_out(
+        _distance_point,
+        [(d, machine_name, accesses_per_thread, seed) for d in distances],
+        jobs=jobs,
+    )

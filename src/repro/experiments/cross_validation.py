@@ -20,12 +20,14 @@ pattern the micro-architecture model does not actually produce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.classify import classify_from_prefetch_fraction
 from ..machines.registry import paper_machines
 from ..machines.spec import MachineSpec
-from ..sim.hierarchy import SimConfig, run_trace
+from ..perf.cache import cached_run_trace
+from ..perf.parallel import fan_out
+from ..sim.hierarchy import SimConfig
 from ..sim.stats import SimStats
 from ..workloads import ALL_WORKLOADS
 from ..workloads.base import TraceSpec, Workload
@@ -74,53 +76,61 @@ def _signature_ok(
     return l2 > l1
 
 
+def _validate_cell(
+    args: Tuple[Workload, MachineSpec, int, int]
+) -> CrossValidationRow:
+    """One workload × machine cell; picklable unit for fan-out workers."""
+    workload, machine, accesses_per_thread, sim_cores = args
+    trace = workload.generate_trace(
+        machine,
+        spec=TraceSpec(threads=sim_cores, accesses_per_thread=accesses_per_thread),
+    )
+    stats = cached_run_trace(
+        trace,
+        SimConfig(machine=machine, sim_cores=sim_cores, window_per_core=14),
+    )
+    declared = workload.calibration(machine.name).binding_level
+    classification = classify_from_prefetch_fraction(
+        stats.memory.prefetch_fraction
+    )
+    l1_occ = stats.avg_occupancy(1)
+    l2_occ = stats.avg_occupancy(2)
+    immaterial = max(l1_occ, l2_occ) < 0.3 * machine.l1.mshrs
+    return CrossValidationRow(
+        workload=workload.name,
+        machine=machine.name,
+        declared_binding=declared,
+        measured_prefetch_fraction=stats.memory.prefetch_fraction,
+        classified_binding=classification.binding_level,
+        l1_occupancy=l1_occ,
+        l2_occupancy=l2_occ,
+        binding_agrees=classification.binding_level == declared,
+        binding_immaterial=immaterial,
+        signature_ok=_signature_ok(workload, machine, stats),
+    )
+
+
 def cross_validate(
     *,
     machines: Optional[Sequence[MachineSpec]] = None,
     workloads: Optional[Sequence[Workload]] = None,
     accesses_per_thread: int = 2200,
     sim_cores: int = 2,
+    jobs: Optional[int] = None,
 ) -> List[CrossValidationRow]:
-    """Run every workload's base trace on every machine and compare."""
-    rows: List[CrossValidationRow] = []
-    for workload in workloads or ALL_WORKLOADS:
-        for machine in machines or paper_machines():
-            if machine.name not in workload.machines():
-                continue
-            trace = workload.generate_trace(
-                machine,
-                spec=TraceSpec(
-                    threads=sim_cores, accesses_per_thread=accesses_per_thread
-                ),
-            )
-            stats = run_trace(
-                trace,
-                SimConfig(
-                    machine=machine, sim_cores=sim_cores, window_per_core=14
-                ),
-            )
-            declared = workload.calibration(machine.name).binding_level
-            classification = classify_from_prefetch_fraction(
-                stats.memory.prefetch_fraction
-            )
-            l1_occ = stats.avg_occupancy(1)
-            l2_occ = stats.avg_occupancy(2)
-            immaterial = max(l1_occ, l2_occ) < 0.3 * machine.l1.mshrs
-            rows.append(
-                CrossValidationRow(
-                    workload=workload.name,
-                    machine=machine.name,
-                    declared_binding=declared,
-                    measured_prefetch_fraction=stats.memory.prefetch_fraction,
-                    classified_binding=classification.binding_level,
-                    l1_occupancy=l1_occ,
-                    l2_occupancy=l2_occ,
-                    binding_agrees=classification.binding_level == declared,
-                    binding_immaterial=immaterial,
-                    signature_ok=_signature_ok(workload, machine, stats),
-                )
-            )
-    return rows
+    """Run every workload's base trace on every machine and compare.
+
+    The (workload, machine) grid cells are independent simulations;
+    ``jobs > 1`` distributes them over worker processes while keeping
+    the row order identical to the serial nested loop.
+    """
+    cells = [
+        (workload, machine, accesses_per_thread, sim_cores)
+        for workload in (workloads or ALL_WORKLOADS)
+        for machine in (machines or paper_machines())
+        if machine.name in workload.machines()
+    ]
+    return fan_out(_validate_cell, cells, jobs=jobs)
 
 
 def render_cross_validation(rows: Sequence[CrossValidationRow]) -> str:

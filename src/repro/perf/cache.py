@@ -1,0 +1,333 @@
+"""Content-addressed on-disk cache for simulation results.
+
+The paper's footnote 2 observes that a machine's latency profile "needs
+to be computed only once per processor"; the JSON profiles under
+:mod:`repro.memory.profile` already honor that.  This module extends the
+same measured-once property to *every* simulation the pipeline runs: a
+:func:`~repro.sim.hierarchy.run_trace` call is fully determined by its
+``(machine, config, trace, latency model, repro version)`` inputs, so
+its :class:`~repro.sim.stats.SimStats` can be memoized under a stable
+SHA-256 digest of those inputs and replayed bit-for-bit on the next
+invocation.
+
+Digest stability rules
+----------------------
+* All inputs are reduced to plain JSON types (dataclasses to dicts,
+  enums to values, tuples to lists) and serialized with sorted keys, so
+  the digest is invariant under dict/field ordering.
+* The digest includes :data:`SCHEMA_VERSION` and ``repro.__version__``:
+  any release, or any change to the cached representation, invalidates
+  the cache wholesale rather than risking stale replays.
+* Any physical parameter change — machine calibration point, MSHR
+  count, trace address, gap cycles, window size — changes the digest.
+
+Storage
+-------
+One JSON document per digest under ``<cache_dir>/<digest[:2]>/<digest>.json``
+(sharded to keep directories small), written atomically via a temp file
+and ``os.replace``.  A corrupted or truncated entry is treated as a
+miss (with a :class:`UserWarning`), re-simulated, and overwritten.
+
+Control knobs
+-------------
+* ``REPRO_CACHE_DIR`` — cache location (default
+  ``$XDG_CACHE_HOME/repro/sim`` or ``~/.cache/repro/sim``);
+* ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) — disable entirely;
+* :func:`configure_cache` — programmatic/CLI override (``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .. import __version__
+from ..errors import CacheKeyError
+from ..sim.hierarchy import SimConfig, run_trace
+from ..sim.stats import SimStats
+from ..sim.trace import Trace
+
+#: Bump when the cached SimStats representation (or sim semantics whose
+#: change is not reflected in ``repro.__version__``) changes.
+SCHEMA_VERSION = 1
+
+_DISABLE_VALUES = ("0", "off", "false", "no")
+
+
+# -- canonical digests ----------------------------------------------------------
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to plain JSON types with deterministic structure."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return _canonical(obj.value)
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise CacheKeyError(
+        f"cannot canonicalize {type(obj).__name__} for a stable cache digest"
+    )
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload`` in canonical JSON form.
+
+    Dict key order never matters: serialization sorts keys at every
+    nesting level.
+    """
+    doc = json.dumps(
+        _canonical(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def _trace_payload(trace: Trace) -> Any:
+    """Compact canonical form of a trace (addresses, kinds, gaps)."""
+    return {
+        "routine": trace.routine,
+        "line_bytes": trace.line_bytes,
+        "threads": [
+            [t.thread_id, [[a.addr, a.kind.value, a.gap_cycles] for a in t.accesses]]
+            for t in trace.threads
+        ],
+    }
+
+
+def digest_for(
+    trace: Trace,
+    config: SimConfig,
+    *,
+    latency_model: Any = None,
+    max_events: int = 50_000_000,
+) -> str:
+    """Stable digest of one simulation's complete physical inputs.
+
+    Raises :class:`~repro.errors.CacheKeyError` when an input (e.g. a
+    hand-written latency-model object) cannot be canonicalized; callers
+    should then run uncached rather than risk a wrong key.
+    """
+    if latency_model is None:
+        # run_trace derives the model from the machine's calibration,
+        # which is already part of the config payload.
+        model_payload: Any = "machine-default"
+    else:
+        model_payload = {
+            "class": type(latency_model).__name__,
+            "params": _canonical(latency_model),
+        }
+    return stable_digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "repro_version": __version__,
+            "config": _canonical(config),
+            "trace": _trace_payload(trace),
+            "latency_model": model_payload,
+            "max_events": max_events,
+        }
+    )
+
+
+# -- the cache proper -----------------------------------------------------------
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/store accounting for one cache handle (or globally)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def snapshot(self) -> "CacheCounters":
+        """An independent copy of the current counts."""
+        return CacheCounters(self.hits, self.misses, self.stores, self.errors)
+
+    def add(self, other: "CacheCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.errors += other.errors
+
+    def diff(self, earlier: "CacheCounters") -> "CacheCounters":
+        """Counts accumulated since ``earlier`` was snapshotted."""
+        return CacheCounters(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.stores - earlier.stores,
+            self.errors - earlier.errors,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} stored"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sim"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in _DISABLE_VALUES
+
+
+class SimCache:
+    """Content-addressed store of :class:`~repro.sim.stats.SimStats`."""
+
+    __slots__ = ("cache_dir", "enabled", "counters")
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        *,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.enabled = _env_enabled() if enabled is None else enabled
+        self.counters = CacheCounters()
+
+    def path_for(self, digest: str) -> Path:
+        """On-disk location of one entry (sharded by digest prefix)."""
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[SimStats]:
+        """Fetch a cached result; corrupt/truncated entries are misses."""
+        if not self.enabled:
+            return None
+        path = self.path_for(digest)
+        try:
+            doc = json.loads(path.read_text())
+            if doc.get("schema") != SCHEMA_VERSION or doc.get("digest") != digest:
+                raise ValueError("schema/digest mismatch")
+            stats = SimStats.from_dict(doc["stats"])
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.counters.misses += 1
+            self.counters.errors += 1
+            warnings.warn(
+                f"discarding corrupt sim-cache entry {path.name}: {exc}",
+                stacklevel=2,
+            )
+            return None
+        self.counters.hits += 1
+        return stats
+
+    def store(self, digest: str, stats: SimStats) -> None:
+        """Persist one result atomically (temp file + rename)."""
+        if not self.enabled:
+            return
+        path = self.path_for(digest)
+        doc = {"schema": SCHEMA_VERSION, "digest": digest, "stats": stats.to_dict()}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, path)
+        except OSError as exc:
+            # A read-only or full disk must never fail the simulation.
+            self.counters.errors += 1
+            warnings.warn(f"could not write sim-cache entry: {exc}", stacklevel=2)
+            return
+        self.counters.stores += 1
+
+
+# -- process-global handle -------------------------------------------------------
+
+_global_cache: Optional[SimCache] = None
+
+
+def get_cache() -> SimCache:
+    """The process-wide cache handle (created lazily from the environment)."""
+    global _global_cache
+    if _global_cache is None:
+        _global_cache = SimCache()
+    return _global_cache
+
+
+def configure_cache(
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+    enabled: Optional[bool] = None,
+) -> SimCache:
+    """Reconfigure the global cache (used by the CLI's ``--no-cache``).
+
+    The settings are mirrored into the environment so worker processes
+    spawned by :func:`repro.perf.parallel.fan_out` inherit them under
+    any multiprocessing start method.
+    """
+    global _global_cache
+    if cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    if enabled is not None:
+        os.environ["REPRO_CACHE"] = "1" if enabled else "0"
+    _global_cache = SimCache(cache_dir=cache_dir, enabled=enabled)
+    return _global_cache
+
+
+def cached_run_trace(
+    trace: Trace,
+    config: SimConfig,
+    *,
+    latency_model: Any = None,
+    max_events: int = 50_000_000,
+    cache: Optional[SimCache] = None,
+) -> SimStats:
+    """Drop-in :func:`~repro.sim.hierarchy.run_trace` with memoization.
+
+    Results are bit-identical to an uncached run: a hit replays the
+    stored :class:`~repro.sim.stats.SimStats` (same counters, same
+    occupancy integrals), a miss simulates and stores.  Inputs that
+    cannot be digested fall back to plain simulation.
+    """
+    handle = cache if cache is not None else get_cache()
+    if not handle.enabled:
+        return run_trace(
+            trace, config, latency_model=latency_model, max_events=max_events
+        )
+    try:
+        digest = digest_for(
+            trace, config, latency_model=latency_model, max_events=max_events
+        )
+    except CacheKeyError:
+        return run_trace(
+            trace, config, latency_model=latency_model, max_events=max_events
+        )
+    stats = handle.load(digest)
+    if stats is not None:
+        return stats
+    stats = run_trace(
+        trace, config, latency_model=latency_model, max_events=max_events
+    )
+    handle.store(digest, stats)
+    return stats

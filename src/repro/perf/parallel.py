@@ -1,0 +1,124 @@
+"""Deterministic parallel fan-out over independent simulations.
+
+:func:`fan_out` is the pipeline's single parallelism primitive: apply a
+picklable callable to a list of items, return results **in item order**
+regardless of completion order, and degrade gracefully:
+
+* ``jobs=1`` (the default) runs serially in-process — bit-identical to
+  the historical list-comprehension loops it replaces;
+* ``jobs>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (simulations are pure CPU-bound Python, so threads cannot help);
+* a pool that cannot start (sandboxed environments without working
+  semaphores, unpicklable callables) falls back to serial execution
+  with a :class:`UserWarning` rather than failing the experiment.
+
+Worker processes run with their own :mod:`repro.perf.cache` handle; the
+wrapper returns each call's cache-counter delta so hits/misses observed
+inside workers are merged into the parent's counters — the CLI summary
+stays truthful under any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count resolution: explicit > ``REPRO_JOBS`` > serial.
+
+    ``jobs=0`` (or ``REPRO_JOBS=0``) means "one worker per CPU".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigurationError(f"REPRO_JOBS must be an integer, got {env!r}")
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class _TrackedCall:
+    """Picklable wrapper returning ``(result, cache-counter delta)``.
+
+    Runs inside worker processes; the delta lets the parent account for
+    cache traffic that happened out-of-process.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable[[T], R]) -> None:
+        self.func = func
+
+    def __call__(self, item: T) -> Tuple[R, Any]:
+        from .cache import get_cache
+
+        counters = get_cache().counters
+        before = counters.snapshot()
+        result = self.func(item)
+        return result, counters.diff(before)
+
+
+def _run_serial(func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    return [func(item) for item in items]
+
+
+def fan_out(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Apply ``func`` to every item, preserving item order in the result.
+
+    Exceptions raised by ``func`` propagate to the caller under every
+    execution mode (the first failing item's exception, as with a plain
+    loop).  With ``jobs > 1`` both ``func`` and the items must be
+    picklable; pool start-up failures degrade to serial execution.
+    """
+    materialized = list(items)
+    workers = min(resolve_jobs(jobs), max(len(materialized), 1))
+    if workers <= 1 or len(materialized) <= 1:
+        return _run_serial(func, materialized)
+
+    from .cache import get_cache
+
+    tracked = _TrackedCall(func)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            paired = list(pool.map(tracked, materialized))
+    except (
+        OSError,
+        BrokenProcessPool,
+        ImportError,
+        pickle.PicklingError,
+        AttributeError,  # "Can't pickle local object" on some platforms
+    ) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running {len(materialized)} "
+            "task(s) serially",
+            stacklevel=2,
+        )
+        return _run_serial(func, materialized)
+
+    counters = get_cache().counters
+    results: List[R] = []
+    for result, delta in paired:
+        counters.add(delta)
+        results.append(result)
+    return results

@@ -18,6 +18,18 @@ from ..machines.spec import CacheSpec
 class CacheArray:
     """Tag array for one cache at one core (or core cluster)."""
 
+    __slots__ = (
+        "spec",
+        "name",
+        "num_sets",
+        "ways",
+        "line_bytes",
+        "_sets",
+        "fills",
+        "evictions",
+        "dirty_evictions",
+    )
+
     def __init__(self, spec: CacheSpec, name: str) -> None:
         self.spec = spec
         self.name = name
@@ -48,8 +60,7 @@ class CacheArray:
         Returns True on hit, False on miss.  Misses do not install the
         line — installation happens on fill via :meth:`fill`.
         """
-        idx = self._set_index(line_addr)
-        ways = self._sets[idx]
+        ways = self._sets[(line_addr // self.line_bytes) % self.num_sets]
         for i, (tag, dirty) in enumerate(ways):
             if tag == line_addr:
                 del ways[i]

@@ -17,8 +17,8 @@ resource-sharing the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
 from .stats import CoreStats
@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .hierarchy import Hierarchy
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadContext:
     """Issue state of one hardware thread."""
 
@@ -50,6 +50,8 @@ class ThreadContext:
 
 class ThreadDriver:
     """Drives one thread's trace through the hierarchy."""
+
+    __slots__ = ("hierarchy", "engine", "ctx", "core_stats", "_freq_ghz")
 
     def __init__(
         self,

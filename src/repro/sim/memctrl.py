@@ -55,6 +55,20 @@ class MemoryController:
         Sliding window for the utilization estimate.
     """
 
+    __slots__ = (
+        "engine",
+        "latency_model",
+        "peak_bw_bytes",
+        "achievable_bw_bytes",
+        "line_bytes",
+        "stats",
+        "window_ns",
+        "slot_ns",
+        "_next_free_ns",
+        "_recent",
+        "_recent_bytes",
+    )
+
     def __init__(
         self,
         engine: Engine,

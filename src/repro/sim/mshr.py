@@ -22,9 +22,13 @@ from ..errors import SimulationError
 from .stats import OccupancyTracker
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
-    """One in-flight miss: the primary request plus merged waiters."""
+    """One in-flight miss: the primary request plus merged waiters.
+
+    Allocated once per unique outstanding miss — the hottest allocation
+    in the simulator — hence ``slots=True``.
+    """
 
     line_addr: int
     is_prefetch: bool
@@ -42,6 +46,16 @@ class MshrEntry:
 
 class MshrFile:
     """A fixed-capacity MSHR file for one cache level of one core."""
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "entries",
+        "tracker",
+        "_free_waiters",
+        "allocations",
+        "merges",
+    )
 
     def __init__(self, name: str, capacity: int) -> None:
         if capacity <= 0:

@@ -24,7 +24,9 @@ from typing import List, Optional, Tuple
 from ..errors import ProfileError
 from ..machines.spec import MachineSpec
 from ..memory.profile import LatencyProfile
-from ..sim.hierarchy import SimConfig, run_trace
+from ..perf.cache import cached_run_trace
+from ..perf.parallel import fan_out
+from ..sim.hierarchy import SimConfig
 from .kernels import gap_sweep, throughput_trace
 
 
@@ -83,7 +85,7 @@ class XMemRunner:
             window_per_core=cfg.window_per_core,
             hw_prefetch=cfg.hw_prefetch,
         )
-        stats = run_trace(trace, sim_cfg)
+        stats = cached_run_trace(trace, sim_cfg)
         slice_fraction = cfg.sim_cores / self.machine.active_cores
         socket_bw = stats.bandwidth_bytes_per_s() / slice_fraction
         return XMemMeasurement(
@@ -93,20 +95,24 @@ class XMemRunner:
             utilization=socket_bw / self.machine.memory.peak_bw_bytes,
         )
 
-    def sweep(self) -> List[XMemMeasurement]:
-        """Measure all load levels, near-idle to saturation."""
-        return [
-            self.measure_level(gap)
-            for gap in gap_sweep(self.config.levels, max_gap_cycles=self.config.max_gap_cycles)
-        ]
+    def sweep(self, *, jobs: Optional[int] = None) -> List[XMemMeasurement]:
+        """Measure all load levels, near-idle to saturation.
 
-    def characterize(self) -> LatencyProfile:
+        Load levels are independent simulations, so with ``jobs > 1``
+        they fan out across worker processes
+        (:func:`repro.perf.parallel.fan_out`); the measurement order —
+        and therefore the profile — is identical for any worker count.
+        """
+        gaps = gap_sweep(self.config.levels, max_gap_cycles=self.config.max_gap_cycles)
+        return fan_out(self.measure_level, gaps, jobs=jobs)
+
+    def characterize(self, *, jobs: Optional[int] = None) -> LatencyProfile:
         """Produce this machine's measured LatencyProfile.
 
         An explicit near-zero-load anchor (idle latency) is added so the
         profile's domain starts at zero bandwidth.
         """
-        measurements = self.sweep()
+        measurements = self.sweep(jobs=jobs)
         samples: List[Tuple[float, float]] = [
             (m.bandwidth_bytes, m.latency_ns) for m in measurements
         ]
@@ -121,7 +127,10 @@ class XMemRunner:
 
 
 def characterize_machine(
-    machine: MachineSpec, config: Optional[XMemConfig] = None
+    machine: MachineSpec,
+    config: Optional[XMemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
 ) -> LatencyProfile:
     """One-call characterization: the paper's per-machine prerequisite."""
-    return XMemRunner(machine, config).characterize()
+    return XMemRunner(machine, config).characterize(jobs=jobs)

@@ -9,6 +9,28 @@ from repro.memory import LatencyProfile, model_for_machine
 from repro.sim import SimConfig
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_sim_cache(tmp_path_factory):
+    """Point the sim cache at a per-session temp dir.
+
+    Keeps the test run hermetic: no reads of (possibly stale) user-level
+    cache entries, no pollution of ``~/.cache``.  Within the session the
+    cache still works, so repeated simulations of identical inputs hit.
+
+    An explicitly exported ``REPRO_CACHE_DIR`` is honored instead — CI
+    sets it to a workspace path persisted between runs (entries are
+    digest-verified on load, so stale or corrupt files are just misses).
+    """
+    import os
+
+    from repro.perf.cache import configure_cache
+
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    cache_dir = explicit if explicit else tmp_path_factory.mktemp("repro-sim-cache")
+    configure_cache(cache_dir=cache_dir, enabled=True)
+    yield
+
+
 @pytest.fixture(scope="session")
 def skl():
     return get_machine("skl")

@@ -1,0 +1,166 @@
+"""Content-addressed sim cache: key stability, corruption, equivalence."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.machines import get_machine
+from repro.perf.cache import (
+    SimCache,
+    cached_run_trace,
+    digest_for,
+    stable_digest,
+)
+from repro.sim import SimConfig, run_trace
+from repro.sim.trace import trace_from_addresses
+from repro.xmem.kernels import throughput_trace
+
+
+@pytest.fixture
+def skl_inputs(skl):
+    trace = throughput_trace(
+        threads=2,
+        accesses_per_thread=300,
+        line_bytes=skl.line_bytes,
+        gap_cycles=20.0,
+    )
+    return trace, SimConfig(machine=skl, sim_cores=2)
+
+
+class TestDigestStability:
+    def test_dict_key_order_is_irrelevant(self):
+        a = {"alpha": 1, "beta": [1, 2, {"x": 1.5, "y": 2.5}]}
+        b = {"beta": [1, 2, {"y": 2.5, "x": 1.5}], "alpha": 1}
+        assert stable_digest(a) == stable_digest(b)
+
+    def test_value_changes_are_detected(self):
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+    def test_digest_is_deterministic_across_calls(self, skl_inputs):
+        trace, config = skl_inputs
+        assert digest_for(trace, config) == digest_for(trace, config)
+
+    def test_rebuilt_identical_inputs_share_a_digest(self, skl):
+        # Fresh (but equal) trace/config objects must hash identically:
+        # content-addressing, not object identity.
+        def build():
+            trace = throughput_trace(
+                threads=2,
+                accesses_per_thread=100,
+                line_bytes=skl.line_bytes,
+                gap_cycles=8.0,
+            )
+            return trace, SimConfig(machine=get_machine("skl"), sim_cores=2)
+
+        t1, c1 = build()
+        t2, c2 = build()
+        assert digest_for(t1, c1) == digest_for(t2, c2)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"sim_cores": 1},
+            {"window_per_core": 8},
+            {"hw_prefetch": False},
+            {"l1_hit_cycles": 5.0},
+            {"tlb_entries": 64},
+        ],
+    )
+    def test_any_config_parameter_changes_digest(self, skl_inputs, override):
+        trace, config = skl_inputs
+        changed = dataclasses.replace(config, **override)
+        assert digest_for(trace, config) != digest_for(trace, changed)
+
+    def test_machine_physical_parameter_changes_digest(self, skl_inputs, skl):
+        trace, config = skl_inputs
+        faster = dataclasses.replace(config, machine=skl.with_frequency(4.0e9))
+        assert digest_for(trace, config) != digest_for(trace, faster)
+
+    def test_trace_contents_change_digest(self, skl):
+        config = SimConfig(machine=skl, sim_cores=1)
+        t1 = trace_from_addresses([[0, 64, 128]], line_bytes=skl.line_bytes)
+        t2 = trace_from_addresses([[0, 64, 192]], line_bytes=skl.line_bytes)
+        assert digest_for(t1, config) != digest_for(t2, config)
+
+    def test_gap_cycles_change_digest(self, skl):
+        config = SimConfig(machine=skl, sim_cores=1)
+        t1 = trace_from_addresses([[0, 64]], line_bytes=skl.line_bytes, gap_cycles=1.0)
+        t2 = trace_from_addresses([[0, 64]], line_bytes=skl.line_bytes, gap_cycles=2.0)
+        assert digest_for(t1, config) != digest_for(t2, config)
+
+
+class TestSimCacheStore:
+    def test_miss_then_hit_roundtrip(self, tmp_path, skl_inputs):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=True)
+        first = cached_run_trace(trace, config, cache=cache)
+        second = cached_run_trace(trace, config, cache=cache)
+        assert cache.counters.misses == 1
+        assert cache.counters.hits == 1
+        assert cache.counters.stores == 1
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_hit_equals_uncached_run_exactly(self, tmp_path, skl_inputs):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=True)
+        cached_run_trace(trace, config, cache=cache)  # populate
+        replayed = cached_run_trace(trace, config, cache=cache)
+        fresh = run_trace(trace, config)
+        assert replayed.fingerprint() == fresh.fingerprint()
+        # Spot-check the numbers behind the fingerprint.
+        assert replayed.elapsed_ns == fresh.elapsed_ns
+        assert replayed.memory.latency_sum_ns == fresh.memory.latency_sum_ns
+        assert replayed.avg_occupancy(1) == fresh.avg_occupancy(1)
+        assert replayed.avg_occupancy(2) == fresh.avg_occupancy(2)
+        assert replayed.events_fired == fresh.events_fired
+
+    def test_corrupt_entry_is_a_warned_miss_not_a_crash(
+        self, tmp_path, skl_inputs
+    ):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=True)
+        baseline = cached_run_trace(trace, config, cache=cache)
+        digest = digest_for(trace, config)
+        path = cache.path_for(digest)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])  # truncate
+        with pytest.warns(UserWarning, match="corrupt"):
+            recovered = cached_run_trace(trace, config, cache=cache)
+        assert recovered.fingerprint() == baseline.fingerprint()
+        # The re-simulated result was stored back and is loadable again.
+        assert json.loads(path.read_text())["digest"] == digest
+
+    def test_wrong_schema_entry_is_a_miss(self, tmp_path, skl_inputs):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=True)
+        cached_run_trace(trace, config, cache=cache)
+        digest = digest_for(trace, config)
+        path = cache.path_for(digest)
+        doc = json.loads(path.read_text())
+        doc["schema"] = 9999
+        path.write_text(json.dumps(doc))
+        with pytest.warns(UserWarning):
+            cached_run_trace(trace, config, cache=cache)
+        assert cache.counters.misses == 2  # initial + schema mismatch
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path, skl_inputs):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=False)
+        cached_run_trace(trace, config, cache=cache)
+        cached_run_trace(trace, config, cache=cache)
+        assert list(tmp_path.iterdir()) == []
+        assert cache.counters.hits == 0
+        assert cache.counters.stores == 0
+
+    def test_stats_dict_roundtrip_is_exact(self, skl_inputs):
+        trace, config = skl_inputs
+        stats = run_trace(trace, config)
+        from repro.sim.stats import SimStats
+
+        rebuilt = SimStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert rebuilt.fingerprint() == stats.fingerprint()
+        assert rebuilt.wall_s == stats.wall_s

@@ -61,6 +61,27 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             engine.run()
 
+    def test_nan_delay_rejected(self):
+        # Regression: `NaN < 0` is False, so a NaN delay used to slip
+        # into the heap and break (time, seq) tie-ordering for every
+        # event scheduled after it.
+        with pytest.raises(SimulationError):
+            Engine().schedule(float("nan"), lambda: None)
+
+    def test_nan_absolute_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_at(float("nan"), lambda: None)
+
+    def test_queue_stays_orderable_after_rejected_nan(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(float("nan"), lambda: None)
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.run()
+        assert order == ["a", "b"]
+
 
 class TestRunLimits:
     def test_until_stops_early(self):

@@ -1,0 +1,47 @@
+"""``repro.analysis`` — reprolint, the repo's domain-aware lint engine.
+
+Generic linters cannot see this project's load-bearing invariants:
+determinism of the simulation path (bit-identical cache replay), unit
+discipline (every ``1e9`` belongs to :mod:`repro.units`), cache-key
+purity (every hashed dataclass field must reach the digest), slots
+hygiene on the hot path, and physical consistency of the machine
+registry.  ``reprolint`` checks all five mechanically; run it as
+``repro lint [paths]`` or through :class:`LintRunner`.
+
+See ``docs/LINTING.md`` for rule-by-rule rationale, the
+``# repro: noqa[RULE-ID]`` suppression syntax, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    LintError,
+    LintResult,
+    LintRunner,
+    Rule,
+    Severity,
+    SourceFile,
+    Violation,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    register,
+)
+from .reporters import render_json, render_text, to_json_doc
+
+__all__ = [
+    "LintError",
+    "LintResult",
+    "LintRunner",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_text",
+    "to_json_doc",
+]

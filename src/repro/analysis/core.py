@@ -1,0 +1,319 @@
+"""Core of ``reprolint`` — the repo's domain-aware static-analysis engine.
+
+The reproduction rests on invariants that ordinary linters cannot see:
+Little's-Law arithmetic silently corrupts if a ``1e9`` is open-coded
+outside :mod:`repro.units`; bit-identical simulator replay breaks if
+wall-clock or unseeded randomness leaks into :mod:`repro.sim`; the
+:mod:`repro.perf.cache` digest silently aliases entries if a hashed
+dataclass grows a field the digest function never sees.  This module
+provides the machinery those domain rules plug into:
+
+* :class:`Violation` — one finding, with a stable rule id;
+* :class:`SourceFile` — lazily parsed source plus its suppression map;
+* :class:`Rule` — base class; subclasses are either *file* rules
+  (AST pass per file) or *project* rules (one semantic pass per run);
+* a registry (:func:`register`, :func:`all_rules`) the CLI consumes;
+* :class:`LintRunner` — walks paths, applies rules, honors suppressions.
+
+Suppressions
+------------
+A violation on line N is suppressed by a trailing comment on that line::
+
+    self.stats.wall_s = time.perf_counter() - t0  # repro: noqa[DET001]
+
+``# repro: noqa`` with no bracket suppresses every rule on the line;
+``# repro: noqa[DET001,UNIT001]`` suppresses just the listed ids.  The
+plain ruff/flake8 ``# noqa`` spelling is deliberately **not** honored,
+so repo-domain suppressions stay visible and greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from ..errors import ReproError
+
+
+class LintError(ReproError):
+    """Raised for unusable lint inputs (bad path, undecodable source)."""
+
+
+class Severity(Enum):
+    """How blocking a finding is; the CLI exit code reflects errors only."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One lint finding, sortable into (path, line, col, id) report order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: ID message`` — the text-reporter line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+
+#: ``# repro: noqa`` or ``# repro: noqa[ID1,ID2]`` (spaces tolerated).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Z0-9,\s-]+)\])?", re.IGNORECASE
+)
+
+#: Blanket suppression marker in a :class:`SourceFile` noqa map.
+_ALL = "*"
+
+
+def _parse_noqa(text: str) -> Dict[int, Set[str]]:
+    """Map line number -> suppressed rule ids (or ``{"*"}`` for blanket).
+
+    Comments are found with :mod:`tokenize` so string literals that merely
+    *mention* the noqa syntax (docs, tests) never suppress anything.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        lines = iter(text.splitlines(keepends=True))
+        tokens = tokenize.generate_tokens(lambda: next(lines, ""))
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if not match:
+                continue
+            ids = match.group("ids")
+            entry = suppressions.setdefault(tok.start[0], set())
+            if ids is None:
+                entry.add(_ALL)
+            else:
+                entry.update(
+                    part.strip().upper() for part in ids.split(",") if part.strip()
+                )
+    except tokenize.TokenError:
+        # Unterminated constructs: fall back to no suppressions; the
+        # syntax error itself is reported by SourceFile.tree.
+        return {}
+    return suppressions
+
+
+class SourceFile:
+    """One Python source file: text, lazy AST, and its suppression map."""
+
+    def __init__(self, path: Path, text: Optional[str] = None) -> None:
+        self.path = Path(path)
+        if text is None:
+            try:
+                text = self.path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                raise LintError(f"cannot read {self.path}: {exc}") from exc
+        self.text = text
+        self._tree: Optional[ast.AST] = None
+        self._parse_error: Optional[SyntaxError] = None
+        self._noqa: Optional[Dict[int, Set[str]]] = None
+
+    @property
+    def tree(self) -> Optional[ast.Module]:
+        """The parsed module, or ``None`` if the file has a syntax error."""
+        if self._tree is None and self._parse_error is None:
+            try:
+                self._tree = ast.parse(self.text, filename=str(self.path))
+            except SyntaxError as exc:
+                self._parse_error = exc
+        return self._tree  # type: ignore[return-value]
+
+    @property
+    def parse_error(self) -> Optional[SyntaxError]:
+        """The syntax error that prevented parsing, if any."""
+        self.tree  # noqa-free way to force the lazy parse
+        return self._parse_error
+
+    @property
+    def noqa(self) -> Dict[int, Set[str]]:
+        """Line -> suppressed rule-id set (``{"*"}`` = everything)."""
+        if self._noqa is None:
+            self._noqa = _parse_noqa(self.text)
+        return self._noqa
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Does line ``line`` carry a noqa for ``rule_id``?"""
+        ids = self.noqa.get(line)
+        if not ids:
+            return False
+        return _ALL in ids or rule_id.upper() in ids
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and override exactly one of
+    :meth:`check_file` (AST rules, run once per source file the rule
+    applies to) or :meth:`check_project` (semantic rules, run once per
+    lint invocation against the *live* package).
+    """
+
+    #: Stable short id, e.g. ``"DET"``; individual findings use
+    #: ``"DET001"``-style ids that share this prefix.
+    prefix: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether :meth:`check_file` should run on ``path`` at all."""
+        return True
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        """AST pass over one file; default: no findings."""
+        return ()
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Violation]:
+        """Semantic pass over the whole run; default: no findings."""
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry by prefix."""
+    prefix = rule_cls.prefix
+    if not prefix or not prefix.isupper():
+        raise LintError(f"rule {rule_cls.__name__} needs an UPPERCASE prefix")
+    if prefix in _REGISTRY and _REGISTRY[prefix] is not rule_cls:
+        raise LintError(f"duplicate rule prefix {prefix!r}")
+    _REGISTRY[prefix] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Fresh instances of every registered rule, in prefix order."""
+    _load_builtin_rules()
+    return tuple(_REGISTRY[prefix]() for prefix in sorted(_REGISTRY))
+
+
+def get_rule(prefix: str) -> Rule:
+    """Instantiate one registered rule by its prefix (case-insensitive)."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[prefix.upper()]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise LintError(f"unknown rule {prefix!r} (known: {known})") from None
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules so their ``@register`` calls run."""
+    from . import rules  # noqa: F401  (import-for-side-effect)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files taken verbatim)."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such path: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    violations: List[Violation]
+    files_checked: int
+    rules_run: Tuple[str, ...]
+
+    @property
+    def errors(self) -> List[Violation]:
+        """Only the findings that should fail the build."""
+        return [v for v in self.violations if v.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (warnings allowed), 1 when any error remains."""
+        return 1 if self.errors else 0
+
+
+class LintRunner:
+    """Apply a set of rules to a set of paths, honoring suppressions."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules) if rules is not None else all_rules()
+
+    def run_sources(self, sources: Sequence[SourceFile]) -> LintResult:
+        """Lint already-loaded sources (the testable core of :meth:`run`)."""
+        violations: List[Violation] = []
+        by_path = {str(s.path): s for s in sources}
+        for source in sources:
+            if source.parse_error is not None:
+                err = source.parse_error
+                violations.append(
+                    Violation(
+                        path=str(source.path),
+                        line=err.lineno or 1,
+                        col=(err.offset or 1) - 1,
+                        rule_id="SYNTAX",
+                        message=f"cannot parse: {err.msg}",
+                    )
+                )
+                continue
+            for rule in self.rules:
+                if rule.applies_to(source.path):
+                    violations.extend(rule.check_file(source))
+        for rule in self.rules:
+            violations.extend(rule.check_project(sources))
+        kept = [
+            v
+            for v in violations
+            if not self._suppressed(v, by_path.get(v.path))
+        ]
+        kept.sort()
+        return LintResult(
+            violations=kept,
+            files_checked=len(sources),
+            rules_run=tuple(rule.prefix for rule in self.rules),
+        )
+
+    def run(self, paths: Sequence[Path]) -> LintResult:
+        """Lint every Python file under ``paths``."""
+        sources = [SourceFile(p) for p in iter_python_files(paths)]
+        return self.run_sources(sources)
+
+    @staticmethod
+    def _suppressed(violation: Violation, source: Optional[SourceFile]) -> bool:
+        if source is None:
+            # Project-rule findings may point at files outside the scanned
+            # set (e.g. the live registry module); load them on demand so
+            # their noqa comments still work.
+            try:
+                source = SourceFile(Path(violation.path))
+            except LintError:
+                return False
+        return source.is_suppressed(violation.line, violation.rule_id)

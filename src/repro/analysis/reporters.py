@@ -1,0 +1,65 @@
+"""Render :class:`~repro.analysis.core.LintResult` as text or JSON.
+
+The text form is the human default (``path:line:col: ID message``, one
+per line, plus a summary); the JSON form is stable and machine-readable
+for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict
+
+from .core import LintResult, Severity
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [violation.render() for violation in result.violations]
+    errors = sum(
+        1 for v in result.violations if v.severity is Severity.ERROR
+    )
+    warnings = len(result.violations) - errors
+    if result.violations:
+        by_rule = Counter(v.rule_id for v in result.violations)
+        breakdown = ", ".join(
+            f"{rule_id} x{count}" for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{errors} error(s), {warnings} warning(s) "
+            f"in {result.files_checked} file(s) [{breakdown}]"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s), "
+            f"rules {', '.join(result.rules_run)}"
+        )
+    return "\n".join(lines)
+
+
+def to_json_doc(result: LintResult) -> Dict[str, Any]:
+    """The JSON-reporter document as a plain dict (testable form)."""
+    return {
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "error_count": len(result.errors),
+        "violation_count": len(result.violations),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule_id": v.rule_id,
+                "severity": v.severity.value,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report."""
+    return json.dumps(to_json_doc(result), indent=2, sort_keys=True)

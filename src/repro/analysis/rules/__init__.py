@@ -1,0 +1,22 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.core`'s registry (each module uses the
+``@register`` decorator at class-definition time).
+"""
+
+from __future__ import annotations
+
+from .cachekey import CacheKeyRule
+from .determinism import DeterminismRule
+from .slots_rule import SlotsHygieneRule
+from .specs import SpecConsistencyRule
+from .units_rule import UnitSafetyRule
+
+__all__ = [
+    "CacheKeyRule",
+    "DeterminismRule",
+    "SlotsHygieneRule",
+    "SpecConsistencyRule",
+    "UnitSafetyRule",
+]

@@ -1,0 +1,239 @@
+"""SLOT — attribute discipline on the hot-path simulator classes.
+
+PR 1's throughput work relies on ``__slots__`` in the event engine and
+the per-access machinery (:mod:`repro.sim`): no instance ``__dict__``
+means smaller objects, faster attribute loads, and a hard guarantee
+that a typo'd attribute raises instead of silently creating state.
+That guarantee erodes in two ways this rule catches statically:
+
+* **SLOT001** — a method assigns ``self.<name>`` where ``<name>`` is
+  not declared in the class's ``__slots__`` (or an analyzable base's).
+  At runtime this is an ``AttributeError`` on a fully slotted chain —
+  but only on the code path that executes it; the lint finds it before
+  any simulation does.  If any base class is outside the analyzed
+  module (so its layout is unknown), the class is skipped rather than
+  guessed at.
+
+Classes created with ``@dataclass(slots=True)`` are handled too: their
+annotated fields are the slot set.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core import Rule, SourceFile, Violation, register
+
+#: Names every object carries regardless of slots.
+_ALWAYS_OK = {"__class__", "__dict__"}
+
+
+def _literal_str_elements(node: ast.expr) -> Optional[Set[str]]:
+    """Element strings of a literal tuple/list/set of constants, if so."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: Set[str] = set()
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.add(element.value)
+            else:
+                return None
+        return out
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return {node.value}
+    return None
+
+
+def _declared_slots(cls: ast.ClassDef) -> Optional[Set[str]]:
+    """``__slots__`` names declared directly on ``cls`` (literals only)."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return _literal_str_elements(stmt.value)
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__slots__"
+            and stmt.value is not None
+        ):
+            return _literal_str_elements(stmt.value)
+    return None
+
+
+def _is_slots_dataclass(cls: ast.ClassDef) -> bool:
+    """Is ``cls`` decorated ``@dataclass(..., slots=True)``?"""
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _annotated_fields(cls: ast.ClassDef) -> Set[str]:
+    """Class-level annotated names (dataclass field candidates)."""
+    return {
+        stmt.target.id
+        for stmt in cls.body
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+    }
+
+
+class _ClassInfo:
+    """Slot layout of one class, as far as the module's AST reveals it."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.bases: List[Optional[str]] = [
+            base.id if isinstance(base, ast.Name) else None
+            for base in node.bases
+        ]
+        if _is_slots_dataclass(node):
+            self.slots: Optional[Set[str]] = _annotated_fields(node)
+        else:
+            self.slots = _declared_slots(node)
+
+
+def _resolve_layout(
+    info: _ClassInfo, table: Dict[str, _ClassInfo]
+) -> Optional[Set[str]]:
+    """Full slot set of a class, or ``None`` when any ancestor is opaque.
+
+    Opaque means: a base that is not ``object``, is not defined in the
+    same module, or does not itself declare ``__slots__`` (such a base
+    contributes a ``__dict__`` and makes every assignment legal).
+    """
+    if info.slots is None:
+        return None
+    allowed = set(info.slots)
+    for base_name in info.bases:
+        if base_name == "object":
+            continue
+        if base_name is None or base_name not in table:
+            return None
+        base_layout = _resolve_layout(table[base_name], table)
+        if base_layout is None:
+            return None
+        allowed |= base_layout
+    return allowed
+
+
+@register
+class SlotsHygieneRule(Rule):
+    """Keep hot-path sim classes free of out-of-slots attribute writes."""
+
+    prefix = "SLOT"
+    name = "slots-hygiene"
+    description = (
+        "no self.<attr> assignment outside __slots__ in repro.sim classes"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        """Hot-path simulator classes only."""
+        return "repro/sim" in path.as_posix()
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        """Report ``self.<attr>`` writes missing from the slots layout."""
+        tree = source.tree
+        if tree is None:
+            return []
+        table: Dict[str, _ClassInfo] = {
+            node.name: _ClassInfo(node)
+            for node in tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        out: List[Violation] = []
+        for info in table.values():
+            allowed = _resolve_layout(info, table)
+            if allowed is None:
+                continue
+            out.extend(
+                self._check_class(source, info.node, allowed | _ALWAYS_OK)
+            )
+        return out
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef, allowed: Set[str]
+    ) -> Iterable[Violation]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self_name = _first_positional(method)
+            if self_name is None:
+                continue
+            for node, attr in _self_attribute_writes(method, self_name):
+                if attr not in allowed:
+                    yield Violation(
+                        path=str(source.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id="SLOT001",
+                        message=(
+                            f"{cls.name}.{method.name} assigns self.{attr} "
+                            f"which is not in __slots__ "
+                            f"({', '.join(sorted(allowed - _ALWAYS_OK))})"
+                        ),
+                        severity=self.default_severity,
+                    )
+
+
+def _first_positional(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Optional[str]:
+    """Name of the receiver argument (``self``), if the method has one."""
+    args = method.args
+    if args.posonlyargs:
+        return args.posonlyargs[0].arg
+    if args.args:
+        return args.args[0].arg
+    return None
+
+
+def _self_attribute_writes(
+    method: ast.FunctionDef | ast.AsyncFunctionDef, self_name: str
+) -> Sequence[Tuple[ast.expr, str]]:
+    """Every ``self.X = ...`` / ``self.X += ...`` target in ``method``."""
+    writes: List[Tuple[ast.expr, str]] = []
+    for node in ast.walk(method):
+        targets: Sequence[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = (node.target,)
+        else:
+            continue
+        for target in targets:
+            for leaf in _flatten_targets(target):
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == self_name
+                ):
+                    writes.append((leaf, leaf.attr))
+    return writes
+
+
+def _flatten_targets(target: ast.expr) -> Iterable[ast.expr]:
+    """Expand tuple/list unpacking targets into leaf targets."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target

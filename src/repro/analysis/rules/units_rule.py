@@ -1,0 +1,141 @@
+"""UNIT — unit-conversion constants belong in :mod:`repro.units`.
+
+Getting one factor of ``1e9`` wrong silently corrupts every MLP number
+the library produces (bandwidths are bytes/s internally, latencies are
+seconds, the paper quotes GB/s and ns).  All conversions therefore live
+in :mod:`repro.units`; the rest of the package must call those helpers
+(or use the named ``GIGA``/``NANO``-style constants they are built
+from) instead of open-coding the factors:
+
+* **UNIT001** — a bare SI scaling literal (``1e3``/``1e6``/``1e9``/
+  ``1e12`` or an inverse) used as a multiplication/division operand.
+* **UNIT002** — a ``2**10``/``2**20``/``2**30``-style binary size
+  factor used as a multiplication/division operand.
+
+Only *float* literals trigger UNIT001: integer literals such as
+``1024`` are address arithmetic and cache geometry, not unit
+conversions, and remain allowed.  The rule skips ``units.py`` itself
+and test code (which legitimately asserts against raw factors when
+testing the helpers).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from ..core import Rule, SourceFile, Violation, register
+
+#: Decimal SI factors that must come from repro.units.
+_SI_FLOATS = {
+    1.0e3,
+    1.0e6,
+    1.0e9,
+    1.0e12,
+    1.0e-3,
+    1.0e-6,
+    1.0e-9,
+    1.0e-12,
+}
+
+#: Exponents of binary byte-size factors (KiB/MiB/GiB/TiB).
+_BINARY_EXPONENTS = {10, 20, 30, 40}
+
+
+def _si_operand(node: ast.expr) -> Optional[float]:
+    """The SI float literal in ``node`` (unary minus tolerated), if any."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value in _SI_FLOATS
+    ):
+        return node.value
+    return None
+
+
+def _binary_pow_operand(node: ast.expr) -> Optional[int]:
+    """The exponent when ``node`` is a ``2**{10,20,30,40}`` literal."""
+    if (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Pow)
+        and isinstance(node.left, ast.Constant)
+        and node.left.value == 2
+        and isinstance(node.right, ast.Constant)
+        and isinstance(node.right.value, int)
+        and node.right.value in _BINARY_EXPONENTS
+    ):
+        return node.right.value
+    return None
+
+
+@register
+class UnitSafetyRule(Rule):
+    """Flag open-coded unit-conversion factors outside ``units.py``."""
+
+    prefix = "UNIT"
+    name = "unit-safety"
+    description = (
+        "SI scaling floats (UNIT001) and 2**30-style size factors "
+        "(UNIT002) must come from repro.units helpers/constants"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        """Library sources except units.py itself, tests, and this engine."""
+        posix = path.as_posix()
+        if "repro/analysis" in posix:
+            # The lint engine documents the very constants it hunts.
+            return False
+        return (
+            "repro/" in posix
+            and not posix.endswith("repro/units.py")
+            and "tests/" not in posix
+        )
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        """Flag SI/power-of-two conversion constants used in mul/div."""
+        tree = source.tree
+        if tree is None:
+            return []
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                continue
+            for operand in (node.left, node.right):
+                value = _si_operand(operand)
+                if value is not None:
+                    out.append(
+                        Violation(
+                            path=str(source.path),
+                            line=operand.lineno,
+                            col=operand.col_offset,
+                            rule_id="UNIT001",
+                            message=(
+                                f"open-coded SI factor {value!r} — use a "
+                                "repro.units helper (gb_per_s, ns, to_ghz, "
+                                "…) or its named constant"
+                            ),
+                            severity=self.default_severity,
+                        )
+                    )
+                exponent = _binary_pow_operand(operand)
+                if exponent is not None:
+                    out.append(
+                        Violation(
+                            path=str(source.path),
+                            line=operand.lineno,
+                            col=operand.col_offset,
+                            rule_id="UNIT002",
+                            message=(
+                                f"open-coded binary size factor 2**{exponent} "
+                                "— centralize byte-size conversions in "
+                                "repro.units"
+                            ),
+                            severity=self.default_severity,
+                        )
+                    )
+        return out

@@ -24,6 +24,7 @@ from .core.analyzer import RoutineAnalyzer
 from .core.classify import AccessPattern, Classification
 from .errors import ReproError
 from .machines.registry import get_machine, machine_names, paper_machines
+from .units import ns_to_us, to_gb_per_s
 from .xmem.runner import XMemConfig, characterize_machine
 
 
@@ -172,8 +173,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{machine.name} slice:"
     )
     print(
-        f"  elapsed {stats.elapsed_ns / 1e3:.1f} us, "
-        f"slice bandwidth {stats.bandwidth_bytes_per_s() / 1e9:.1f} GB/s"
+        f"  elapsed {ns_to_us(stats.elapsed_ns):.1f} us, "
+        f"slice bandwidth {to_gb_per_s(stats.bandwidth_bytes_per_s()):.1f} GB/s"
     )
     print(
         f"  L1 MSHR occ {stats.avg_occupancy(1):.2f} "
@@ -186,6 +187,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(report.render())
     _print_cache_summary()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import LintRunner, all_rules, get_rule, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.prefix:6s} {rule.name}: {rule.description}")
+        return 0
+    if args.select:
+        rules = tuple(
+            get_rule(prefix.strip()) for prefix in args.select.split(",") if prefix.strip()
+        )
+    else:
+        rules = all_rules()
+    paths = [Path(p) for p in args.paths] if args.paths else _default_lint_paths()
+    result = LintRunner(rules).run(paths)
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code
+
+
+def _default_lint_paths() -> "List[Path]":
+    """``src`` and ``tests`` when run from a checkout, else the cwd."""
+    from pathlib import Path
+
+    candidates = [Path("src"), Path("tests")]
+    existing = [p for p in candidates if p.is_dir()]
+    return existing or [Path(".")]
 
 
 def _cmd_headroom(args: argparse.Namespace) -> int:
@@ -306,6 +337,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--accesses", type=int, default=3000, help="per thread")
     p_sim.add_argument("--window", type=int, default=14, help="per-core window")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint (domain rules: determinism, units, cache keys, "
+        "slots, machine specs)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_lint.add_argument(
+        "--select",
+        help="comma-separated rule prefixes to run (e.g. DET,UNIT)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_head = sub.add_parser(
         "headroom", help="recipe verdict map across utilizations/patterns"

@@ -24,6 +24,7 @@ from ..errors import ConfigurationError, StationarityError
 from ..machines.spec import MachineSpec
 from ..memory.profile import LatencyProfile
 from ..sim.stats import SimStats
+from ..units import gb_per_s, ns, to_gb_per_s
 from .classify import Classification, classify_from_prefetch_fraction
 from .mlp import MlpCalculator, MlpResult
 from .recipe import Recipe, RecipeContext, RecipeDecision
@@ -120,7 +121,7 @@ class RoutineAnalyzer:
 
     def analyze_bandwidth_gbs(self, bandwidth_gbs: float, **kwargs) -> AnalysisReport:
         """Same as :meth:`analyze_bandwidth` with GB/s input."""
-        return self.analyze_bandwidth(bandwidth_gbs * 1e9, **kwargs)
+        return self.analyze_bandwidth(gb_per_s(bandwidth_gbs), **kwargs)
 
     # -- simulator-run entry -------------------------------------------------------
 
@@ -172,7 +173,7 @@ class RoutineAnalyzer:
         if spread > STATIONARITY_SPREAD and not force:
             raise StationarityError(
                 f"routine bandwidths spread {spread:.1f}x apart "
-                f"({[f'{b/1e9:.1f}' for b in bws]} GB/s); Little's law assumes "
+                f"({[f'{to_gb_per_s(b):.1f}' for b in bws]} GB/s); Little's law assumes "
                 "a stationary system - analyze per routine (or pass force=True)"
             )
         total_time = sum(s.elapsed_ns for s in runs)
@@ -182,7 +183,7 @@ class RoutineAnalyzer:
             raise ConfigurationError("runs have no elapsed time")
         slice_cores = max(1, max(len(s.l1_occupancy) for s in runs))
         scale = self.machine.active_cores / slice_cores
-        agg_bw = total_bytes / (total_time * 1e-9) * scale
+        agg_bw = total_bytes / ns(total_time) * scale
         pf_fraction = pf_bytes / total_bytes if total_bytes else 0.0
         report = self.analyze_bandwidth(
             agg_bw,

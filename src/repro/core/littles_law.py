@@ -23,6 +23,7 @@ stationarity guard lives in :mod:`repro.core.analyzer`.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..units import GIGA, NANO, ns
 
 
 def _check_positive(name: str, value: float) -> None:
@@ -75,7 +76,7 @@ def mlp_from_bandwidth(
     _check_positive("latency_ns", latency_ns)
     _check_positive("line_bytes", line_bytes)
     _check_positive("cores", cores)
-    return latency_ns * 1e-9 * bandwidth_bytes / line_bytes / cores
+    return ns(latency_ns) * bandwidth_bytes / line_bytes / cores
 
 
 def bandwidth_from_mlp(
@@ -91,7 +92,7 @@ def bandwidth_from_mlp(
     _check_positive("latency_ns", latency_ns)
     _check_positive("line_bytes", line_bytes)
     _check_positive("cores", cores)
-    return n_avg * cores * line_bytes / (latency_ns * 1e-9)
+    return n_avg * cores * line_bytes / ns(latency_ns)
 
 
 def latency_from_mlp(
@@ -102,7 +103,7 @@ def latency_from_mlp(
     _check_positive("bandwidth_bytes", bandwidth_bytes)
     _check_positive("line_bytes", line_bytes)
     _check_positive("cores", cores)
-    return n_avg * cores * line_bytes / bandwidth_bytes * 1e9
+    return n_avg * cores * line_bytes / bandwidth_bytes * GIGA
 
 
 def requests_from_bandwidth(
@@ -113,4 +114,4 @@ def requests_from_bandwidth(
         raise ConfigurationError("bandwidth must be >= 0")
     _check_positive("time_ns", time_ns)
     _check_positive("line_bytes", line_bytes)
-    return bandwidth_bytes * time_ns * 1e-9 / line_bytes
+    return bandwidth_bytes * time_ns * NANO / line_bytes

@@ -22,7 +22,7 @@ from ..errors import ConfigurationError
 from ..machines.spec import MachineSpec
 from ..memory.latency_model import model_for_machine
 from ..memory.profile import LatencyProfile
-from ..units import to_gb_per_s
+from ..units import gb_per_s, to_gb_per_s
 from .littles_law import mlp_from_bandwidth
 
 
@@ -112,4 +112,4 @@ class MlpCalculator:
 
     def calculate_gbs(self, bandwidth_gbs: float) -> MlpResult:
         """Same as :meth:`calculate` with bandwidth given in GB/s."""
-        return self.calculate(bandwidth_gbs * 1e9)
+        return self.calculate(gb_per_s(bandwidth_gbs))

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from ..errors import CounterError
 from ..machines.spec import MachineSpec
 from ..sim.stats import SimStats
-from ..units import to_gb_per_s
+from ..units import ns_to_ms, to_gb_per_s
 from .session import CounterSession
 
 
@@ -44,7 +44,7 @@ class RoutineReport:
         """One table line, paper style: 'BW (xx%)'."""
         pct = 100.0 * self.bandwidth_bytes / peak_bw_bytes
         return (
-            f"{self.routine:<24s} {self.time_ns / 1e6:>9.3f} ms  "
+            f"{self.routine:<24s} {ns_to_ms(self.time_ns):>9.3f} ms  "
             f"{self.bandwidth_gbs:>8.1f} GB/s ({pct:.0f}%)  "
             f"pf={self.prefetch_fraction:.2f}"
         )

@@ -30,7 +30,7 @@ from typing import Dict, Mapping, Optional
 from ..errors import CounterUnavailableError
 from ..machines.spec import MachineSpec
 from ..sim.stats import SimStats
-from ..units import ns_to_cycles
+from ..units import ns, ns_to_cycles
 from .events import CounterEvent, NativeEvent, events_supported
 from .vendor import vendor_for_machine
 
@@ -120,7 +120,7 @@ class CounterSession:
         if self.stats.elapsed_ns <= 0:
             return 0.0
         line = self.machine.line_bytes
-        seconds = self.stats.elapsed_ns * 1e-9
+        seconds = ns(self.stats.elapsed_ns)
         reads = self.read(CounterEvent.MEM_READ_LINES).value * line
         if self.supports(CounterEvent.MEM_WRITE_LINES):
             writes = self.read(CounterEvent.MEM_WRITE_LINES).value * line

@@ -28,6 +28,7 @@ from ..perf.cache import cached_run_trace
 from ..perf.parallel import fan_out
 from ..sim.hierarchy import SimConfig
 from ..sim.trace import ThreadTrace, Trace
+from ..units import to_gb_per_s
 from ..workloads.generators import random_updates
 from .harness import RecipeScore, reproduce_all_tables, score_recipe
 
@@ -178,7 +179,7 @@ def _distance_point(args: Tuple[int, str, int, int]) -> PrefetchDistancePoint:
         distance=distance,
         l1_full_fraction=stats.mshr_full_fraction(1),
         l2_occupancy=stats.avg_occupancy(2),
-        bandwidth_gbs=stats.bandwidth_bytes_per_s() / 1e9,
+        bandwidth_gbs=to_gb_per_s(stats.bandwidth_bytes_per_s()),
         elapsed_ns=stats.elapsed_ns,
     )
 

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 from ..machines.registry import get_machine
 from ..machines.spec import MachineSpec
 from ..sim.hierarchy import SimConfig, run_trace
+from ..units import KILO
 from ..workloads import get_workload
 from ..workloads.base import TraceSpec, Workload
 
@@ -109,8 +110,8 @@ def measure_contention(
         machine=machine.name,
         spread_l1_miss_rate=spread.l1.miss_rate,
         smt_l1_miss_rate=smt.l1.miss_rate,
-        spread_dram_demand_per_kaccess=1000.0 * spread.l2.misses / accesses,
-        smt_dram_demand_per_kaccess=1000.0 * smt.l2.misses / accesses,
+        spread_dram_demand_per_kaccess=KILO * spread.l2.misses / accesses,
+        smt_dram_demand_per_kaccess=KILO * smt.l2.misses / accesses,
     )
 
 

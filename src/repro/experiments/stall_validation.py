@@ -20,6 +20,7 @@ from ..machines.spec import MachineSpec
 from ..machines.registry import get_machine
 from ..sim.hierarchy import SimConfig, run_trace
 from ..sim.stats import SimStats
+from ..units import to_gb_per_s
 from ..workloads import get_workload
 from ..workloads.base import TraceSpec
 
@@ -94,11 +95,11 @@ class StallMigration:
                 f"  base:       L1 occ {self.base_l1_occupancy:5.2f}  "
                 f"L1 full {self.base_l1_full_fraction:5.1%}  "
                 f"L2 occ {self.base_l2_occupancy:5.2f}  "
-                f"BW {self.base.bandwidth_bytes_per_s() / 1e9:6.1f} GB/s (slice)",
+                f"BW {to_gb_per_s(self.base.bandwidth_bytes_per_s()):6.1f} GB/s (slice)",
                 f"  +l2-pref:   L1 occ {self.prefetched_l1_occupancy:5.2f}  "
                 f"L1 full {self.prefetched_l1_full_fraction:5.1%}  "
                 f"L2 occ {self.prefetched_l2_occupancy:5.2f}  "
-                f"BW {self.prefetched.bandwidth_bytes_per_s() / 1e9:6.1f} GB/s (slice)",
+                f"BW {to_gb_per_s(self.prefetched.bandwidth_bytes_per_s()):6.1f} GB/s (slice)",
                 f"  bottleneck migrated L1 -> L2: {self.bottleneck_migrated}",
                 f"  bandwidth improved:           {self.bandwidth_improved}",
             ]

@@ -27,6 +27,7 @@ from .model import (
     occupancy,
     sustainable_bandwidth_bytes,
 )
+from ..units import to_gb_per_s
 
 #: MSHR fill fraction above which the file counts as the bottleneck.
 FULL_RATIO = 0.9
@@ -164,7 +165,7 @@ class GpuAdvisor:
             occupancy=occ,
             mshr_demand_per_sm=demand,
             mshr_fill_ratio=fill,
-            sustainable_bw_gbs=bw / 1e9,
+            sustainable_bw_gbs=to_gb_per_s(bw),
             bandwidth_bound=bandwidth_bound,
             recommendations=tuple(recs),
         )

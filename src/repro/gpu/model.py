@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import ConfigurationError
+from ..units import gb_per_s, ns
 
 
 @dataclass(frozen=True)
@@ -56,7 +57,7 @@ class GpuSpec:
     @property
     def peak_bw_bytes(self) -> float:
         """Peak bandwidth in bytes/s."""
-        return self.peak_bw_gbs * 1e9
+        return gb_per_s(self.peak_bw_gbs)
 
 
 def a100_like() -> GpuSpec:
@@ -164,4 +165,4 @@ def sustainable_bandwidth_bytes(gpu: GpuSpec, n_per_sm: float) -> float:
     """Little's law at GPU scale: BW = SMs × n × line / latency."""
     if n_per_sm < 0:
         raise ConfigurationError("n_per_sm must be >= 0")
-    return gpu.sms * n_per_sm * gpu.line_bytes / (gpu.loaded_latency_ns * 1e-9)
+    return gpu.sms * n_per_sm * gpu.line_bytes / ns(gpu.loaded_latency_ns)

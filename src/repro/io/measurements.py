@@ -33,6 +33,7 @@ from ..counters.vendor import vendor_for_machine
 from ..errors import ConfigurationError
 from ..machines.spec import MachineSpec
 from ..memory.profile import LatencyProfile
+from ..units import gb_per_s
 
 
 @dataclass(frozen=True)
@@ -71,7 +72,7 @@ def from_csv(text: str) -> List[RoutineMeasurement]:
         measurements.append(
             RoutineMeasurement(
                 routine=row[0].strip(),
-                bandwidth_bytes=bw_gbs * 1e9,
+                bandwidth_bytes=gb_per_s(bw_gbs),
                 prefetch_fraction=pf,
             )
         )

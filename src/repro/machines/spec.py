@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..units import gb_per_s, ghz
+from ..units import gb_per_s, ghz, ns, to_gb_per_s, to_ghz
 
 
 @dataclass(frozen=True)
@@ -204,12 +204,12 @@ class MachineSpec:
     @property
     def frequency_ghz(self) -> float:
         """Core frequency in GHz."""
-        return self.frequency_hz / 1e9
+        return to_ghz(self.frequency_hz)
 
     @property
     def peak_bw_gbs(self) -> float:
         """Theoretical peak memory bandwidth in GB/s."""
-        return self.memory.peak_bw_bytes / 1e9
+        return to_gb_per_s(self.memory.peak_bw_bytes)
 
     def mshr_limit(self, level: int) -> int:
         """Per-core MSHR count at cache ``level`` (1 or 2)."""
@@ -229,7 +229,7 @@ class MachineSpec:
         """
         if latency_ns <= 0:
             raise ConfigurationError("latency must be positive")
-        per_core = self.mshr_limit(level) * self.line_bytes / (latency_ns * 1e-9)
+        per_core = self.mshr_limit(level) * self.line_bytes / ns(latency_ns)
         return per_core * self.active_cores
 
     def describe(self) -> str:

@@ -28,7 +28,7 @@ from ..errors import ConfigurationError
 from ..machines.spec import MachineSpec
 from ..memory.latency_model import LatencyModel, model_for_machine
 from ..memory.profile import LatencyProfile
-from ..units import to_gb_per_s
+from ..units import NANO, to_gb_per_s
 
 #: Convergence tolerance on relative bandwidth change.
 _TOLERANCE = 1e-9
@@ -149,7 +149,7 @@ def solve_operating_point(
     else:
         lat = model.latency_ns(min(1.0, bw / peak))
 
-    n_observed = bw * lat * 1e-9 / cls / ncores
+    n_observed = bw * lat * NANO / cls / ncores
     return SolvedPoint(
         bandwidth_bytes=bw,
         latency_ns=lat,

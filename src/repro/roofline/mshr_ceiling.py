@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.littles_law import bandwidth_from_mlp
 from ..errors import ConfigurationError
 from ..machines.spec import MachineSpec
+from ..units import to_gb_per_s
 from .model import Roofline, RooflinePoint
 
 
@@ -60,7 +61,7 @@ def mshr_ceiling(
         level=level,
         mshrs_per_core=mshrs,
         latency_ns=latency_ns,
-        bandwidth_gbs=bw_bytes / 1e9,
+        bandwidth_gbs=to_gb_per_s(bw_bytes),
     )
 
 

@@ -28,6 +28,7 @@ from typing import Callable, Deque, Optional, Tuple
 
 from ..errors import SimulationError
 from ..memory.latency_model import LatencyModel
+from ..units import GIGA, ns
 from .engine import Engine
 from .stats import MemoryStats
 
@@ -92,7 +93,7 @@ class MemoryController:
         self.stats = stats
         self.window_ns = window_ns
         #: ns per admitted line at the achievable-bandwidth cap.
-        self.slot_ns = line_bytes / self.achievable_bw_bytes * 1e9
+        self.slot_ns = line_bytes / self.achievable_bw_bytes * GIGA
         self._next_free_ns = 0.0
         self._recent: Deque[Tuple[float, int]] = deque()  # (admit time, bytes)
         self._recent_bytes = 0
@@ -115,7 +116,7 @@ class MemoryController:
             self._recent_bytes -= old
         if not self._recent:
             return 0.0
-        rate = self._recent_bytes / (self.window_ns * 1e-9)
+        rate = self._recent_bytes / ns(self.window_ns)
         return min(1.0, rate / self.peak_bw_bytes)
 
     def current_latency_ns(self, now_ns: float) -> float:

@@ -52,6 +52,16 @@ def to_ghz(hz: float) -> float:
     return hz / GIGA
 
 
+def ns_to_us(latency_ns: float) -> float:
+    """Convert nanoseconds to microseconds (report rendering)."""
+    return latency_ns / KILO
+
+
+def ns_to_ms(latency_ns: float) -> float:
+    """Convert nanoseconds to milliseconds (report rendering)."""
+    return latency_ns / MEGA
+
+
 def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
     """Express a duration in core cycles at ``frequency_hz``.
 

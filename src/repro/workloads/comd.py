@@ -25,7 +25,7 @@ from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
 from ..sim.trace import ThreadTrace, Trace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import cached_compute
+from .generators import cached_compute, spawn_thread_rng
 
 
 class ComdWorkload(Workload):
@@ -127,7 +127,7 @@ class ComdWorkload(Workload):
         gap = 12.0 if vectorized else 25.0  # vectorization shrinks compute
         threads = []
         for t in range(spec.threads):
-            trng = random.Random(rng.randrange(2**31))
+            trng = spawn_thread_rng(rng)
             accesses = cached_compute(
                 spec.accesses_per_thread,
                 line,

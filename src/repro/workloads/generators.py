@@ -30,6 +30,22 @@ from ..sim.trace import Access, AccessKind
 #: Spacing between logical regions, large enough to avoid set collisions.
 REGION_STRIDE = 256 * 1024 * 1024
 
+#: Seed space for per-thread RNG forks (fits any 32-bit seed consumer).
+_THREAD_SEED_BOUND = 2**31
+
+
+def spawn_thread_rng(rng: random.Random) -> random.Random:
+    """Fork a deterministic per-thread RNG from a parent trace RNG.
+
+    Every workload generator seeds one parent ``random.Random`` from
+    ``TraceSpec.seed`` and derives one child per simulated thread so the
+    per-thread access streams are independent yet fully reproducible.
+    This helper is the single blessed derivation pattern (the
+    determinism lint rule DET002 forbids unseeded ``random.Random()``
+    in trace generation; this is the alternative it points at).
+    """
+    return random.Random(rng.randrange(_THREAD_SEED_BOUND))
+
 
 def region_base(region_id: int) -> int:
     """Byte base address of a numbered region."""

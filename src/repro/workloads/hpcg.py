@@ -31,7 +31,7 @@ from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
 from ..sim.trace import ThreadTrace, Trace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import gather_accesses, unit_streams
+from .generators import gather_accesses, spawn_thread_rng, unit_streams
 
 
 class HpcgWorkload(Workload):
@@ -128,7 +128,7 @@ class HpcgWorkload(Workload):
         gap = 1.5 if "vectorize" in steps else 3.0
         threads = []
         for t in range(spec.threads):
-            trng = random.Random(rng.randrange(2**31))
+            trng = spawn_thread_rng(rng)
             n_stream = int(spec.accesses_per_thread * 0.85)
             streams = unit_streams(
                 n_stream,

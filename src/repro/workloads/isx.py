@@ -35,7 +35,7 @@ from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
 from ..sim.trace import Access, AccessKind, ThreadTrace, Trace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import random_updates, unit_streams
+from .generators import random_updates, spawn_thread_rng, unit_streams
 
 
 class IsxWorkload(Workload):
@@ -147,7 +147,7 @@ class IsxWorkload(Workload):
         gap = base_gap * (line / 64) ** 0.5
         threads = []
         for t in range(spec.threads):
-            trng = random.Random(rng.randrange(2**31))
+            trng = spawn_thread_rng(rng)
             updates = random_updates(
                 int(spec.accesses_per_thread * 0.9),
                 line,

@@ -29,7 +29,7 @@ from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
 from ..sim.trace import ThreadTrace, Trace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import gather_accesses, unit_streams
+from .generators import gather_accesses, spawn_thread_rng, unit_streams
 
 
 class PennantWorkload(Workload):
@@ -130,7 +130,7 @@ class PennantWorkload(Workload):
         gap = 2.0 if vectorized else 8.0  # scalar gather chain is slow
         threads = []
         for t in range(spec.threads):
-            trng = random.Random(rng.randrange(2**31))
+            trng = spawn_thread_rng(rng)
             n_gather = int(spec.accesses_per_thread * 0.7)
             gathers = gather_accesses(
                 n_gather,

@@ -27,7 +27,7 @@ from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
 from ..sim.trace import ThreadTrace, Trace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import short_bursts
+from .generators import short_bursts, spawn_thread_rng
 
 
 class SnapWorkload(Workload):
@@ -124,7 +124,7 @@ class SnapWorkload(Workload):
         prefetched = "sw_prefetch" in steps
         threads = []
         for t in range(spec.threads):
-            trng = random.Random(rng.randrange(2**31))
+            trng = spawn_thread_rng(rng)
             accesses = short_bursts(
                 spec.accesses_per_thread,
                 line,

@@ -1,0 +1,69 @@
+"""End-to-end tests for the ``repro lint`` CLI command."""
+
+import json
+
+from repro.cli import main
+
+
+def _seed_violations(tmp_path):
+    """A fixture tree with one DET001, one DET002, and one UNIT001."""
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import random\n"
+        "import time\n"
+        "t0 = time.time()\n"
+        "r = random.Random()\n"
+        "bw = t0 * 1e9\n"
+    )
+    return tmp_path
+
+
+def test_lint_repo_tree_is_clean():
+    assert main(["lint", "src", "tests"]) == 0
+
+
+def test_lint_seeded_violations_fail(tmp_path, capsys):
+    code = main(["lint", str(_seed_violations(tmp_path))])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "DET002" in out
+    assert "UNIT001" in out
+    assert "error(s)" in out
+
+
+def test_lint_select_subset(tmp_path, capsys):
+    target = _seed_violations(tmp_path)
+    assert main(["lint", "--select", "UNIT", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "UNIT001" in out
+    assert "DET001" not in out
+    # The DET violations alone also fail under a DET-only run.
+    assert main(["lint", "--select", "det", str(target)]) == 1
+
+
+def test_lint_json_format(tmp_path, capsys):
+    code = main(["lint", "--format", "json", str(_seed_violations(tmp_path))])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert doc["error_count"] >= 3
+    assert {v["rule_id"] for v in doc["violations"]} >= {
+        "DET001",
+        "DET002",
+        "UNIT001",
+    }
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for prefix in ("DET", "UNIT", "KEY", "SLOT", "SPEC"):
+        assert prefix in out
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out

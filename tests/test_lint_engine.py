@@ -1,0 +1,215 @@
+"""Engine-level tests for reprolint: registry, noqa, runner, reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintError,
+    LintResult,
+    LintRunner,
+    Rule,
+    Severity,
+    SourceFile,
+    Violation,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    render_json,
+    render_text,
+    to_json_doc,
+)
+from repro.analysis.core import _parse_noqa
+
+
+def _violation(line=1, rule_id="TST001", severity=Severity.ERROR, path="x.py"):
+    return Violation(
+        path=path,
+        line=line,
+        col=0,
+        rule_id=rule_id,
+        message="synthetic finding",
+        severity=severity,
+    )
+
+
+class _OneShotRule(Rule):
+    """Emits one finding on every line containing 'BAD'."""
+
+    prefix = "TST"
+    name = "test-rule"
+    description = "synthetic rule for engine tests"
+
+    def check_file(self, source):
+        """Flag each line containing the marker token."""
+        return [
+            _violation(line=i, path=str(source.path))
+            for i, text in enumerate(source.text.splitlines(), start=1)
+            if "BAD" in text
+        ]
+
+
+class TestNoqaParsing:
+    def test_blanket_and_specific(self):
+        text = (
+            "a = 1  # repro: noqa\n"
+            "b = 2  # repro: noqa[DET001]\n"
+            "c = 3  # repro: noqa[DET001, UNIT001]\n"
+            "d = 4\n"
+        )
+        noqa = _parse_noqa(text)
+        assert noqa[1] == {"*"}
+        assert noqa[2] == {"DET001"}
+        assert noqa[3] == {"DET001", "UNIT001"}
+        assert 4 not in noqa
+
+    def test_case_insensitive_marker(self):
+        noqa = _parse_noqa("x = 1  # REPRO: NOQA[det001]\n")
+        assert noqa[1] == {"DET001"}
+
+    def test_string_literal_does_not_suppress(self):
+        # The marker inside a string is not a comment token.
+        noqa = _parse_noqa('msg = "# repro: noqa[DET001]"\n')
+        assert noqa == {}
+
+    def test_plain_noqa_not_honored(self):
+        assert _parse_noqa("x = 1  # noqa\n") == {}
+
+    def test_tokenize_failure_returns_empty(self):
+        # EOF inside an open bracket: tokenizer raises mid-stream and the
+        # parse falls back to "no suppressions" (even for comments already
+        # seen), leaving the syntax error to SourceFile.tree.
+        assert _parse_noqa("x = (  # repro: noqa\n") == {}
+
+
+class TestSourceFile:
+    def test_tree_and_noqa(self, tmp_path):
+        p = tmp_path / "m.py"
+        p.write_text("x = 1  # repro: noqa[TST001]\n")
+        src = SourceFile(p)
+        assert src.tree is not None
+        assert src.parse_error is None
+        assert src.is_suppressed(1, "TST001")
+        assert src.is_suppressed(1, "tst001")  # ids are case-insensitive
+        assert not src.is_suppressed(1, "TST002")
+        assert not src.is_suppressed(2, "TST001")
+
+    def test_syntax_error_file(self):
+        src = SourceFile(Path("bad.py"), text="def f(:\n")
+        assert src.tree is None
+        assert src.parse_error is not None
+
+    def test_unreadable_path_raises(self, tmp_path):
+        with pytest.raises(LintError):
+            SourceFile(tmp_path / "missing.py")
+
+
+class TestRegistry:
+    def test_all_rules_has_builtin_prefixes(self):
+        prefixes = {rule.prefix for rule in all_rules()}
+        assert {"DET", "UNIT", "KEY", "SLOT", "SPEC"} <= prefixes
+
+    def test_get_rule_case_insensitive(self):
+        assert get_rule("det").prefix == "DET"
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            get_rule("NOPE")
+
+
+class TestIterPythonFiles:
+    def test_walk_dedup_and_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("a = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("a = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        found = list(
+            iter_python_files([tmp_path, tmp_path / "pkg" / "a.py"])
+        )
+        assert [p.name for p in found] == ["a.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError, match="no such path"):
+            list(iter_python_files([tmp_path / "ghost"]))
+
+
+class TestLintRunner:
+    def test_findings_and_exit_code(self):
+        src = SourceFile(Path("f.py"), text="ok = 1\nBAD = 2\n")
+        result = LintRunner([_OneShotRule()]).run_sources([src])
+        assert [v.line for v in result.violations] == [2]
+        assert result.exit_code == 1
+        assert result.files_checked == 1
+        assert result.rules_run == ("TST",)
+
+    def test_suppression_honored(self):
+        src = SourceFile(Path("f.py"), text="BAD = 1  # repro: noqa[TST001]\n")
+        result = LintRunner([_OneShotRule()]).run_sources([src])
+        assert result.violations == []
+        assert result.exit_code == 0
+
+    def test_blanket_suppression(self):
+        src = SourceFile(Path("f.py"), text="BAD = 1  # repro: noqa\n")
+        result = LintRunner([_OneShotRule()]).run_sources([src])
+        assert result.violations == []
+
+    def test_syntax_error_reported(self):
+        src = SourceFile(Path("broken.py"), text="def f(:\n")
+        result = LintRunner([_OneShotRule()]).run_sources([src])
+        assert [v.rule_id for v in result.violations] == ["SYNTAX"]
+        assert result.exit_code == 1
+
+    def test_warning_only_exits_zero(self):
+        class _WarnRule(_OneShotRule):
+            default_severity = Severity.WARNING
+
+            def check_file(self, source):
+                """Emit one warning-severity finding."""
+                return [_violation(severity=Severity.WARNING, path=str(source.path))]
+
+        src = SourceFile(Path("f.py"), text="x = 1\n")
+        result = LintRunner([_WarnRule()]).run_sources([src])
+        assert len(result.violations) == 1
+        assert result.errors == []
+        assert result.exit_code == 0
+
+    def test_report_order_is_sorted(self):
+        src_b = SourceFile(Path("b.py"), text="BAD\nBAD\n")
+        src_a = SourceFile(Path("a.py"), text="BAD\n")
+        result = LintRunner([_OneShotRule()]).run_sources([src_b, src_a])
+        assert [(v.path, v.line) for v in result.violations] == [
+            ("a.py", 1),
+            ("b.py", 1),
+            ("b.py", 2),
+        ]
+
+
+class TestReporters:
+    def _result(self, violations):
+        return LintResult(
+            violations=violations, files_checked=3, rules_run=("TST",)
+        )
+
+    def test_text_with_findings(self):
+        text = render_text(self._result([_violation(line=7)]))
+        assert "x.py:7:0: TST001 [error] synthetic finding" in text
+        assert "1 error(s), 0 warning(s) in 3 file(s) [TST001 x1]" in text
+
+    def test_text_clean(self):
+        text = render_text(self._result([]))
+        assert text.startswith("clean: 3 file(s)")
+
+    def test_json_document(self):
+        doc = to_json_doc(
+            self._result([_violation(severity=Severity.WARNING)])
+        )
+        assert doc["files_checked"] == 3
+        assert doc["error_count"] == 0
+        assert doc["violation_count"] == 1
+        assert doc["violations"][0]["severity"] == "warning"
+        # render_json must be valid JSON of the same document.
+        assert json.loads(render_json(self._result([]))) == to_json_doc(
+            self._result([])
+        )

@@ -1,0 +1,343 @@
+"""Per-rule tests: each built-in rule has passing and failing cases."""
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis import LintRunner, Severity, SourceFile, get_rule
+from repro.analysis.rules.cachekey import (
+    check_canonical_coverage,
+    check_digest_sensitivity,
+)
+from repro.analysis.rules.specs import MSHR_BOUND_BY_DESIGN, check_machine
+from repro.machines.registry import get_machine
+
+#: Path prefix that puts a fixture inside the determinism-guarded scope.
+SIM = Path("src/repro/sim")
+
+
+def _lint(rule_prefix, path, text):
+    source = SourceFile(Path(path), text=text)
+    return LintRunner([get_rule(rule_prefix)]).run_sources([source])
+
+
+class TestDeterminismRule:
+    def test_clean_seeded_rng_passes(self):
+        text = (
+            "import random\n"
+            "def gen(rng: random.Random):\n"
+            "    return rng.random()\n"
+            "parent = random.Random(42)\n"
+        )
+        assert _lint("DET", SIM / "gen.py", text).violations == []
+
+    def test_wall_clock_flagged(self):
+        result = _lint("DET", SIM / "x.py", "import time\nt = time.time()\n")
+        assert [v.rule_id for v in result.violations] == ["DET001"]
+        assert result.exit_code == 1
+
+    def test_from_import_alias_flagged(self):
+        text = "from time import perf_counter as pc\nt = pc()\n"
+        assert [
+            v.rule_id for v in _lint("DET", SIM / "x.py", text).violations
+        ] == ["DET001"]
+
+    def test_datetime_now_flagged(self):
+        text = "import datetime\nts = datetime.datetime.now()\n"
+        assert [
+            v.rule_id for v in _lint("DET", SIM / "x.py", text).violations
+        ] == ["DET001"]
+
+    def test_global_rng_flagged(self):
+        text = "import random\nx = random.randrange(10)\n"
+        assert [
+            v.rule_id for v in _lint("DET", SIM / "x.py", text).violations
+        ] == ["DET002"]
+
+    def test_unseeded_random_flagged_seeded_ok(self):
+        bad = _lint("DET", SIM / "x.py", "import random\nr = random.Random()\n")
+        good = _lint("DET", SIM / "x.py", "import random\nr = random.Random(3)\n")
+        assert [v.rule_id for v in bad.violations] == ["DET002"]
+        assert good.violations == []
+
+    def test_out_of_scope_path_not_checked(self):
+        result = _lint(
+            "DET", "src/repro/io/x.py", "import time\nt = time.time()\n"
+        )
+        assert result.violations == []
+
+    def test_noqa_suppresses(self):
+        text = "import time\nt = time.time()  # repro: noqa[DET001]\n"
+        assert _lint("DET", SIM / "x.py", text).violations == []
+
+
+class TestUnitSafetyRule:
+    def test_helper_use_passes(self):
+        text = (
+            "from repro.units import gb_per_s, ns\n"
+            "bw = gb_per_s(106.9)\n"
+            "lat = ns(145)\n"
+            "lines = 1024 * 64\n"  # int literals are address arithmetic
+        )
+        assert _lint("UNIT", "src/repro/core/x.py", text).violations == []
+
+    def test_si_float_flagged(self):
+        result = _lint("UNIT", "src/repro/core/x.py", "bw = x * 1e9\n")
+        assert [v.rule_id for v in result.violations] == ["UNIT001"]
+
+    def test_inverse_si_float_flagged(self):
+        result = _lint("UNIT", "src/repro/core/x.py", "s = lat / 1e-9\n")
+        assert [v.rule_id for v in result.violations] == ["UNIT001"]
+
+    def test_binary_pow_flagged(self):
+        result = _lint("UNIT", "src/repro/core/x.py", "size = n * 2**30\n")
+        assert [v.rule_id for v in result.violations] == ["UNIT002"]
+
+    def test_units_py_itself_exempt(self):
+        result = _lint("UNIT", "src/repro/units.py", "GIGA = 2.0 * 1e9\n")
+        assert result.violations == []
+
+    def test_tests_exempt(self):
+        result = _lint("UNIT", "tests/test_x.py", "assert y == x * 1e9\n")
+        assert result.violations == []
+
+
+class TestSlotsHygieneRule:
+    def test_declared_slots_pass(self):
+        text = (
+            "class Node:\n"
+            "    __slots__ = ('a', 'b')\n"
+            "    def __init__(self):\n"
+            "        self.a = 0\n"
+            "        self.b = 0\n"
+        )
+        assert _lint("SLOT", SIM / "node.py", text).violations == []
+
+    def test_out_of_slots_write_flagged(self):
+        text = (
+            "class Node:\n"
+            "    __slots__ = ('a',)\n"
+            "    def reset(self):\n"
+            "        self.stray = 1\n"
+        )
+        result = _lint("SLOT", SIM / "node.py", text)
+        assert [v.rule_id for v in result.violations] == ["SLOT001"]
+        assert "stray" in result.violations[0].message
+
+    def test_slots_dataclass_fields_are_slots(self):
+        text = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(slots=True)\n"
+            "class Point:\n"
+            "    x: int\n"
+            "    def bump(self):\n"
+            "        self.x += 1\n"
+            "        self.y = 2\n"
+        )
+        result = _lint("SLOT", SIM / "p.py", text)
+        assert [v.rule_id for v in result.violations] == ["SLOT001"]
+        assert "self.y" in result.violations[0].message
+
+    def test_inherited_slots_resolved(self):
+        text = (
+            "class Base:\n"
+            "    __slots__ = ('a',)\n"
+            "class Child(Base):\n"
+            "    __slots__ = ('b',)\n"
+            "    def go(self):\n"
+            "        self.a = 1\n"
+            "        self.b = 2\n"
+        )
+        assert _lint("SLOT", SIM / "c.py", text).violations == []
+
+    def test_opaque_base_skipped(self):
+        # Unknown base may carry __dict__; the rule must not guess.
+        text = (
+            "from somewhere import Base\n"
+            "class Child(Base):\n"
+            "    __slots__ = ()\n"
+            "    def go(self):\n"
+            "        self.anything = 1\n"
+        )
+        assert _lint("SLOT", SIM / "c.py", text).violations == []
+
+    def test_unslotted_class_skipped(self):
+        text = (
+            "class Plain:\n"
+            "    def go(self):\n"
+            "        self.anything = 1\n"
+        )
+        assert _lint("SLOT", SIM / "c.py", text).violations == []
+
+
+@dataclasses.dataclass(frozen=True)
+class _Inner:
+    gamma: int = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outer:
+    alpha: int = 1
+    beta: float = 2.0
+    inner: _Inner = dataclasses.field(default_factory=_Inner)
+
+
+def _full_canonical(obj):
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+def _digest_fields(*names):
+    def _digest(obj):
+        doc = {}
+        for name in names:
+            value = getattr(obj, name)
+            doc[name] = (
+                _full_canonical(value)
+                if dataclasses.is_dataclass(value)
+                else value
+            )
+        return hashlib.sha256(
+            json.dumps(doc, sort_keys=True, default=str).encode()
+        ).hexdigest()
+
+    return _digest
+
+
+class TestCacheKeyChecks:
+    def test_full_coverage_passes(self):
+        found = list(
+            check_canonical_coverage(
+                _Outer(), _full_canonical, report_path="t.py", report_line=1
+            )
+        )
+        assert found == []
+
+    def test_missing_field_flagged(self):
+        def lossy(obj):
+            doc = _full_canonical(obj)
+            doc.pop("beta", None)
+            return doc
+
+        found = list(
+            check_canonical_coverage(
+                _Outer(), lossy, report_path="t.py", report_line=1
+            )
+        )
+        assert [v.rule_id for v in found] == ["KEY001"]
+        assert "beta" in found[0].message
+
+    def test_nested_dataclass_walked(self):
+        def lossy(obj):
+            doc = _full_canonical(obj)
+            doc.pop("gamma", None)
+            return doc
+
+        found = list(
+            check_canonical_coverage(
+                _Outer(), lossy, report_path="t.py", report_line=1
+            )
+        )
+        assert [v.rule_id for v in found] == ["KEY001"]
+        assert "gamma" in found[0].message
+
+    def test_sensitive_digest_passes(self):
+        digest = _digest_fields("alpha", "beta", "inner")
+        found = list(
+            check_digest_sensitivity(
+                _Outer(), digest, report_path="t.py", report_line=1
+            )
+        )
+        assert found == []
+
+    def test_ignored_field_flagged(self):
+        digest = _digest_fields("alpha", "inner")  # beta never hashed
+        found = list(
+            check_digest_sensitivity(
+                _Outer(), digest, report_path="t.py", report_line=1
+            )
+        )
+        assert [v.rule_id for v in found] == ["KEY002"]
+        assert "beta" in found[0].message
+
+    def test_live_cache_is_clean(self):
+        source = SourceFile(Path("src/repro/perf/cache.py"), text="x = 1\n")
+        result = LintRunner([get_rule("KEY")]).run_sources([source])
+        assert result.errors == []
+
+
+class _StubCache:
+    def __init__(self, level, mshrs):
+        self.level = level
+        self.mshrs = mshrs
+
+
+class _StubMemory:
+    def __init__(self, idle_latency_ns, achievable_bw_bytes):
+        self.idle_latency_ns = idle_latency_ns
+        self.achievable_bw_bytes = achievable_bw_bytes
+
+
+class _StubMachine:
+    """Minimal duck-typed MachineSpec for check_machine tests."""
+
+    def __init__(
+        self,
+        *,
+        mshrs=16,
+        line_bytes=64,
+        cores=4,
+        idle_latency_ns=100.0,
+        achievable_bw_bytes=10e9,
+    ):
+        self.name = "stub"
+        self.l1 = _StubCache(1, mshrs)
+        self.l2 = _StubCache(2, mshrs)
+        self.line_bytes = line_bytes
+        self.active_cores = cores
+        self.memory = _StubMemory(idle_latency_ns, achievable_bw_bytes)
+        self.latency_calibration = ()
+
+    def max_bw_from_mshrs(self, level, latency_ns):
+        return self.active_cores * self.l2.mshrs * self.line_bytes / (
+            latency_ns * 1e-9
+        )
+
+
+class TestSpecConsistency:
+    def test_consistent_machine_passes(self):
+        # 4 cores x 16 MSHRs x 64 B / 100 ns = 40.96 GB/s >= 10 GB/s.
+        assert list(check_machine(_StubMachine())) == []
+
+    def test_paper_machines_pass(self):
+        for name in ("skl", "knl", "a64fx"):
+            assert list(check_machine(get_machine(name))) == [], name
+
+    def test_zero_mshrs_flagged(self):
+        found = list(check_machine(_StubMachine(mshrs=0)))
+        assert {v.rule_id for v in found} == {"SPEC001"}
+        assert len(found) == 2  # both cache levels
+
+    def test_non_power_of_two_line_flagged(self):
+        found = list(check_machine(_StubMachine(line_bytes=96)))
+        assert [v.rule_id for v in found] == ["SPEC002"]
+
+    def test_overcommitted_bandwidth_flagged(self):
+        machine = _StubMachine(achievable_bw_bytes=100e9)  # ceiling ~41 GB/s
+        found = list(check_machine(machine))
+        assert [v.rule_id for v in found] == ["SPEC003"]
+        assert found[0].severity is Severity.ERROR
+
+    def test_mshr_bound_by_design_downgraded(self):
+        machine = _StubMachine(achievable_bw_bytes=100e9)
+        found = list(check_machine(machine, mshr_bound_ok=True))
+        assert [v.rule_id for v in found] == ["SPEC003"]
+        assert found[0].severity is Severity.WARNING
+        assert "by design" in found[0].message
+
+    def test_concept_machines_are_allowlisted(self):
+        assert MSHR_BOUND_BY_DESIGN == {"hbm2e", "hbm3"}
+        for name in MSHR_BOUND_BY_DESIGN:
+            found = list(check_machine(get_machine(name), mshr_bound_ok=True))
+            assert [v.rule_id for v in found] == ["SPEC003"]
+            assert found[0].severity is Severity.WARNING

@@ -1,8 +1,16 @@
 """Unit conversions: the arithmetic everything else leans on."""
 
+import math
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import units
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=1e-12, max_value=1e12
+)
 
 
 class TestBandwidth:
@@ -59,3 +67,101 @@ class TestUtilization:
 class TestFrequency:
     def test_ghz_roundtrip(self):
         assert units.to_ghz(units.ghz(2.1)) == pytest.approx(2.1)
+
+
+class TestReportScaling:
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1500.0) == pytest.approx(1.5)
+
+    def test_ns_to_ms(self):
+        assert units.ns_to_ms(2.5e6) == pytest.approx(2.5)
+
+    def test_chain_consistency(self):
+        # us and ms views of one latency differ by exactly 1000x.
+        lat = 123456.0
+        assert units.ns_to_us(lat) == pytest.approx(
+            units.ns_to_ms(lat) * units.KILO
+        )
+
+
+class TestConstants:
+    def test_si_ladder(self):
+        assert units.GIGA == 1e9
+        assert units.MEGA == 1e6
+        assert units.KILO == 1e3
+        assert units.NANO == 1e-9
+        assert units.GIGA * units.NANO == pytest.approx(1.0)
+
+
+class TestRoundTripsExhaustive:
+    """Property round-trips over the physically plausible range."""
+
+    @given(finite_floats)
+    def test_bandwidth_roundtrip(self, value):
+        assert units.to_gb_per_s(units.gb_per_s(value)) == pytest.approx(
+            value, rel=1e-12
+        )
+
+    @given(finite_floats)
+    def test_latency_roundtrip(self, value):
+        assert units.to_ns(units.ns(value)) == pytest.approx(value, rel=1e-12)
+
+    @given(finite_floats)
+    def test_frequency_roundtrip(self, value):
+        assert units.to_ghz(units.ghz(value)) == pytest.approx(value, rel=1e-12)
+
+    @given(finite_floats, st.floats(min_value=0.1, max_value=10.0))
+    def test_cycle_roundtrip(self, lat_ns, freq_ghz):
+        cycles = units.ns_to_cycles(lat_ns, freq_ghz)
+        assert units.cycles_to_ns(cycles, freq_ghz) == pytest.approx(
+            lat_ns, rel=1e-12
+        )
+
+    @given(finite_floats, st.floats(min_value=1e6, max_value=1e10))
+    def test_seconds_cycles_roundtrip(self, seconds, hz):
+        cycles = units.seconds_to_cycles(seconds, hz)
+        assert units.cycles_to_seconds(cycles, hz) == pytest.approx(
+            seconds, rel=1e-12
+        )
+
+    def test_paper_quoted_pairs_exact(self):
+        # Latency/cycle pairs the paper quotes (Section I, Table IV).
+        assert round(units.ns_to_cycles(180, 2.1)) == 378
+        assert round(units.cycles_to_ns(378, 2.1)) == 180
+
+
+class TestEdgeInputs:
+    """NaN propagates; negative magnitudes scale but never crash."""
+
+    def test_nan_propagates(self):
+        for fn in (
+            units.gb_per_s,
+            units.to_gb_per_s,
+            units.ns,
+            units.to_ns,
+            units.ghz,
+            units.to_ghz,
+            units.ns_to_us,
+            units.ns_to_ms,
+        ):
+            assert math.isnan(fn(float("nan")))
+
+    def test_nan_utilization_propagates(self):
+        # NaN fails neither bound check (all comparisons are False).
+        assert math.isnan(units.utilization(float("nan"), 10.0))
+
+    def test_negative_values_scale_linearly(self):
+        # Conversions are pure scalings: sign passes straight through
+        # (validation is the caller's job, e.g. littles_law raises).
+        assert units.gb_per_s(-2.0) == -2e9
+        assert units.ns(-5.0) == -5e-9
+        assert units.ns_to_us(-1500.0) == pytest.approx(-1.5)
+
+    def test_zero_is_exact(self):
+        assert units.gb_per_s(0.0) == 0.0
+        assert units.to_ns(0.0) == 0.0
+        assert units.seconds_to_cycles(0.0, 2.1e9) == 0.0
+
+    def test_infinity_scales_to_infinity(self):
+        assert units.to_gb_per_s(float("inf")) == float("inf")
+        assert math.isinf(units.ghz(float("inf")))

@@ -12,13 +12,17 @@ entries (two different simulations, one stored result).  Two checks:
   dataclass as a key.  ``_canonical`` iterates ``dataclasses.fields``
   today, so this passes by construction — and starts failing the day
   someone rewrites it with manual enumeration.
-* **KEY002** (behavioral) — ``_trace_payload`` *is* a manual
-  enumeration (it compacts traces for speed), so structure is not
-  enough: for a tiny fixture trace, mutate each dataclass field in turn
-  and assert the trace digest changes.  A field whose mutation leaves
-  the digest unchanged is unreachable from the payload; a field the
-  checker cannot mutate is reported as a warning so its author extends
-  the mutation table rather than shipping an unverifiable key.
+* **KEY002** (behavioral) — the trace side of the key is
+  :func:`repro.sim.coltrace.trace_digest`, a manual enumeration (it
+  hashes raw array bytes for speed), so structure is not enough: for
+  tiny fixture traces — one per representation, object ``Trace`` and
+  ``ColumnarTrace`` — mutate each dataclass field in turn and assert
+  the digest changes.  A field whose mutation leaves the digest
+  unchanged is unreachable from the digest; a field the checker cannot
+  mutate is reported as a warning so its author extends the mutation
+  table rather than shipping an unverifiable key.  Numpy array fields
+  are mutated element-wise (length-preserving, so the columnar classes'
+  equal-length invariant holds).
 
 Both checks run against the *live* modules, so the rule needs no
 source-location heuristics: any drift between the dataclasses and the
@@ -31,6 +35,8 @@ import dataclasses
 import enum
 import inspect
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core import Rule, Severity, SourceFile, Violation, register
 
@@ -56,6 +62,19 @@ def _mutation_candidates(value: Any) -> List[Any]:
         return [not value]
     if isinstance(value, enum.Enum):
         return [m for m in type(value) if m is not value]
+    if isinstance(value, np.ndarray):
+        # Length-preserving only: the columnar trace classes enforce
+        # equal column lengths, so resizing one column can never survive
+        # construction.  (Also returns before the generic != filter
+        # below, which is ambiguous on arrays.)
+        if value.size == 0:
+            return []
+        if np.issubdtype(value.dtype, np.integer):
+            # The %-variant keeps small code domains (AccessKind) valid.
+            return [value + 1, (value + 1) % 4]
+        if np.issubdtype(value.dtype, np.floating):
+            return [value + 1.0, value * 0.5 + 0.25]
+        return []
     if isinstance(value, int):
         raw: List[Any] = [value + 1, value + 2, max(0, value - 1), value * 2 + 1]
     elif isinstance(value, float):
@@ -268,6 +287,8 @@ class CacheKeyRule(Rule):
         try:
             from ...machines.registry import get_machine
             from ...perf import cache as cache_mod
+            from ...sim import coltrace as coltrace_mod
+            from ...sim.coltrace import ColumnarTrace
             from ...sim.hierarchy import SimConfig
             from ...sim.trace import Access, AccessKind, ThreadTrace, Trace
         except Exception as exc:  # pragma: no cover - import breakage
@@ -307,11 +328,22 @@ class CacheKeyRule(Rule):
             routine="lint-audit",
             line_bytes=64,
         )
-        path, line = _source_location(cache_mod._trace_payload)
+        path, line = _source_location(coltrace_mod.trace_digest)
+        # Both representations are digested by the same function; audit
+        # each so every field of the object *and* columnar trace classes
+        # provably reaches the perf-cache key.
         out.extend(
             check_digest_sensitivity(
                 trace,
-                lambda t: cache_mod.stable_digest(cache_mod._trace_payload(t)),
+                coltrace_mod.trace_digest,
+                report_path=path,
+                report_line=line,
+            )
+        )
+        out.extend(
+            check_digest_sensitivity(
+                ColumnarTrace.from_trace(trace),
+                coltrace_mod.trace_digest,
                 report_path=path,
                 report_line=line,
             )

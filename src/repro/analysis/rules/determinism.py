@@ -11,9 +11,15 @@ process-global randomness leaks into the simulation path, so inside
   ``wall_s`` stat) must carry an explicit ``# repro: noqa[DET001]``.
 * **DET002** — no process-global RNG (``random.random()``,
   ``random.randrange()``, …) and no *unseeded* ``random.Random()``.
-  The blessed pattern is an explicit ``rng`` parameter seeded from
-  ``TraceSpec.seed`` and forked per thread via
-  :func:`repro.workloads.generators.spawn_thread_rng`.
+  The same policy covers numpy since the generators vectorized: the
+  legacy global API (``np.random.randint()``, ``np.random.seed()``, …)
+  is forbidden outright, and ``numpy.random.Generator`` construction
+  (``default_rng()``, bit generators like ``PCG64()``) is allowed only
+  with an explicit seed argument.  The blessed patterns are an explicit
+  ``rng`` parameter seeded from ``TraceSpec.seed`` and forked per
+  thread via :func:`repro.workloads.generators.spawn_thread_rng`
+  (scalar) or :func:`repro.workloads.generators.spawn_thread_generator`
+  (vectorized).
 """
 
 from __future__ import annotations
@@ -63,6 +69,44 @@ _RANDOM_FUNCS = {
     "lognormvariate",
 }
 
+#: ``numpy.random`` module-level functions backed by the hidden legacy
+#: global ``RandomState`` (non-exhaustive is fine: any hit is a bug).
+_NUMPY_GLOBAL_FUNCS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "seed",
+    "get_state",
+    "set_state",
+    "shuffle",
+    "permutation",
+    "choice",
+    "bytes",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "poisson",
+    "exponential",
+    "beta",
+    "gamma",
+    "binomial",
+    "lognormal",
+    "laplace",
+    "pareto",
+    "weibull",
+}
+
+#: ``numpy.random`` bit-generator classes; unseeded construction pulls
+#: OS entropy, which is exactly the nondeterminism this rule forbids.
+_NUMPY_BIT_GENERATORS = {"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+
+#: Module roots whose imports/aliases the rule tracks.
+_TRACKED_ROOTS = ("time", "random", "datetime", "numpy")
+
 #: Package sub-paths the rule guards (deterministic by contract).
 _GUARDED = ("repro/sim", "repro/perfmodel", "repro/workloads")
 
@@ -79,14 +123,17 @@ def _module_aliases(tree: ast.Module) -> Dict[str, Set[str]]:
         if isinstance(node, ast.Import):
             for item in node.names:
                 root = item.name.split(".")[0]
-                if root in ("time", "random", "datetime"):
+                if root in _TRACKED_ROOTS:
                     aliases.setdefault(item.asname or root, set()).add(root)
         elif isinstance(node, ast.ImportFrom) and node.module:
             root = node.module.split(".")[0]
-            if root in ("time", "random", "datetime"):
+            if root in _TRACKED_ROOTS:
                 for item in node.names:
+                    # The full module path distinguishes numpy.random
+                    # members from numpy top-level ones; for the stdlib
+                    # modules it equals the root.
                     aliases.setdefault(item.asname or item.name, set()).add(
-                        f"{root}:{item.name}"
+                        f"{node.module}:{item.name}"
                     )
     return aliases
 
@@ -159,6 +206,13 @@ class DeterminismRule(Rule):
                         "unseeded random.Random() — seed it from the trace "
                         "spec (or use workloads.generators.spawn_thread_rng)",
                     )
+            # numpy.random members via a module alias: ``import
+            # numpy.random as npr`` (origin 'numpy') or ``from numpy
+            # import random as npr`` (origin 'numpy:random').
+            if "numpy" in origins or "numpy:random" in origins:
+                yield from self._numpy_rng_findings(
+                    node, attr, f"{func.value.id}.{attr}()"
+                )
             # ``import datetime; datetime.date.today()`` has no Name base
             # here (covered by the chained branch below); this one covers
             # ``from datetime import datetime/date`` class aliases.
@@ -184,6 +238,19 @@ class DeterminismRule(Rule):
                 "DET001",
                 f"wall-clock call datetime.{func.value.attr}.{func.attr}() "
                 "in deterministic module",
+            )
+        # chained numpy access: np.random.randint(), np.random.default_rng()
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and "numpy" in aliases.get(func.value.value.id, set())
+        ):
+            yield from self._numpy_rng_findings(
+                node,
+                func.attr,
+                f"{func.value.value.id}.random.{func.attr}()",
             )
         # from-imports: perf_counter(), random(), now()
         if isinstance(func, ast.Name):
@@ -214,3 +281,34 @@ class DeterminismRule(Rule):
                     # ``from datetime import datetime`` then datetime.now()
                     # is caught by the Attribute branch via this alias.
                     continue
+                elif root == "numpy.random":
+                    # ``from numpy.random import default_rng`` etc.
+                    yield from self._numpy_rng_findings(
+                        node, attr, f"{func.id}() (= numpy.random.{attr})"
+                    )
+
+    def _numpy_rng_findings(
+        self, node: ast.Call, attr: str, shown: str
+    ) -> Iterator[Tuple[str, str]]:
+        """DET002 findings for one ``numpy.random`` member call.
+
+        Legacy global-state functions are always wrong; Generator
+        construction (``default_rng`` or a bit-generator class) is fine
+        *iff* it receives an explicit seed argument.
+        """
+        if attr in _NUMPY_GLOBAL_FUNCS:
+            yield (
+                "DET002",
+                f"legacy global numpy RNG call {shown} — use an explicitly "
+                "seeded numpy.random.Generator (see "
+                "workloads.generators.spawn_thread_generator)",
+            )
+        elif (
+            attr == "default_rng" or attr in _NUMPY_BIT_GENERATORS
+        ) and not (node.args or node.keywords):
+            yield (
+                "DET002",
+                f"unseeded {shown} — numpy Generators are allowed only "
+                "with an explicit seed (see "
+                "workloads.generators.spawn_thread_generator)",
+            )

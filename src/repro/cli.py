@@ -11,7 +11,10 @@ Commands mirror the paper's workflow:
 * ``repro reproduce [--table isx|hpcg|...|all]`` — regenerate the paper
   case-study tables and the agreement summary;
 * ``repro figure2`` — the extended-roofline experiment;
-* ``repro recipe-score`` — Figure 1 aggregate accuracy.
+* ``repro recipe-score`` — Figure 1 aggregate accuracy;
+* ``repro trace export/import`` — write a generated trace to an
+  mmap-able ``.npz`` file / read one back and summarize it (feed it to
+  ``repro simulate --trace FILE``).
 """
 
 from __future__ import annotations
@@ -149,27 +152,46 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .perf.cache import cached_run_trace
     from .sim import SimConfig
-    from .workloads import get_workload
-    from .workloads.base import TraceSpec
 
     _apply_perf_flags(args)
     machine = get_machine(args.machine)
-    workload = get_workload(args.workload)
     steps = tuple(args.steps.split(",")) if args.steps else ()
-    trace = workload.generate_trace(
-        machine,
-        steps=steps,
-        spec=TraceSpec(threads=args.cores, accesses_per_thread=args.accesses),
-    )
+    if args.trace:
+        # Imported trace file: skip generation entirely (the point of
+        # ``repro trace export``); the thread count decides the cores.
+        from .io import load_trace
+
+        trace = load_trace(args.trace)
+        routine = trace.routine
+        cores = args.cores if args.cores is not None else len(trace.threads)
+        label = f"from {args.trace}"
+    else:
+        if not args.workload:
+            print(
+                "error: either --workload or --trace is required",
+                file=sys.stderr,
+            )
+            return 2
+        from .workloads import get_workload
+        from .workloads.base import TraceSpec
+
+        workload = get_workload(args.workload)
+        routine = workload.routine
+        cores = args.cores if args.cores is not None else 2
+        trace = workload.generate_trace(
+            machine,
+            steps=steps,
+            spec=TraceSpec(threads=cores, accesses_per_thread=args.accesses),
+        )
+        label = "+ " + ", ".join(steps) if steps else "base"
     stats = cached_run_trace(
         trace,
         SimConfig(
-            machine=machine, sim_cores=args.cores, window_per_core=args.window
+            machine=machine, sim_cores=cores, window_per_core=args.window
         ),
     )
-    label = "+ " + ", ".join(steps) if steps else "base"
     print(
-        f"simulated {workload.routine} ({label}) on a {args.cores}-core "
+        f"simulated {routine} ({label}) on a {cores}-core "
         f"{machine.name} slice:"
     )
     print(
@@ -186,6 +208,53 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     report = RoutineAnalyzer(machine).analyze_run(stats)
     print(report.render())
     _print_cache_summary()
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .io import save_trace
+    from .workloads import get_workload
+    from .workloads.base import TraceSpec
+
+    machine = get_machine(args.machine)
+    workload = get_workload(args.workload)
+    steps = tuple(args.steps.split(",")) if args.steps else ()
+    spec_kwargs = {"threads": args.threads, "accesses_per_thread": args.accesses}
+    if args.seed is not None:
+        spec_kwargs["seed"] = args.seed
+    trace = workload.generate_trace(
+        machine, steps=steps, spec=TraceSpec(**spec_kwargs)
+    )
+    meta = save_trace(args.out, trace, compress=args.compress)
+    size = Path(args.out).stat().st_size
+    print(
+        f"wrote {args.out}: {meta['routine']} trace, "
+        f"{len(meta['thread_ids'])} threads x {args.accesses} accesses, "
+        f"{size} bytes{' (compressed)' if args.compress else ''}"
+    )
+    print(f"sha256 {meta['sha256']}")
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from .io import load_trace
+    from .sim.coltrace import trace_digest
+
+    trace = load_trace(args.file, verify=not args.no_verify)
+    print(
+        f"{args.file}: {trace.routine} trace, {len(trace.threads)} threads, "
+        f"{trace.total_accesses} accesses ({trace.total_demand} demand), "
+        f"line_bytes={trace.line_bytes}"
+    )
+    for thread in trace.threads:
+        print(
+            f"  thread {thread.thread_id}: {len(thread)} accesses "
+            f"({thread.demand_count} demand)"
+        )
+    verified = "verified" if not args.no_verify else "unverified"
+    print(f"sha256 {trace_digest(trace)} ({verified})")
     return 0
 
 
@@ -327,16 +396,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--machine", required=True, choices=machine_names())
     p_sim.add_argument(
         "--workload",
-        required=True,
         choices=["isx", "hpcg", "pennant", "comd", "minighost", "snap"],
+        help="workload to generate a trace for (or use --trace)",
+    )
+    p_sim.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="simulate a trace file written by `repro trace export` "
+        "instead of generating one",
     )
     p_sim.add_argument(
         "--steps", default="", help="comma-separated transforms, e.g. l2_prefetch"
     )
-    p_sim.add_argument("--cores", type=int, default=2, help="simulated cores")
+    p_sim.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="simulated cores (default: 2, or the trace's thread count "
+        "with --trace)",
+    )
     p_sim.add_argument("--accesses", type=int, default=3000, help="per thread")
     p_sim.add_argument("--window", type=int, default=14, help="per-core window")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace", help="export/import on-disk (mmap-able) trace files"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_texp = trace_sub.add_parser(
+        "export", help="generate a workload trace and write it to a file"
+    )
+    p_texp.add_argument("--machine", required=True, choices=machine_names())
+    p_texp.add_argument(
+        "--workload",
+        required=True,
+        choices=["isx", "hpcg", "pennant", "comd", "minighost", "snap"],
+    )
+    p_texp.add_argument(
+        "--steps", default="", help="comma-separated transforms, e.g. l2_prefetch"
+    )
+    p_texp.add_argument("--threads", type=int, default=2, help="trace threads")
+    p_texp.add_argument("--accesses", type=int, default=3000, help="per thread")
+    p_texp.add_argument(
+        "--seed", type=int, default=None, help="trace RNG seed (default: spec)"
+    )
+    p_texp.add_argument("--out", required=True, help="output trace file path")
+    p_texp.add_argument(
+        "--compress",
+        action="store_true",
+        help="smaller file; loads copy instead of memory-mapping",
+    )
+    p_texp.set_defaults(func=_cmd_trace_export)
+    p_timp = trace_sub.add_parser(
+        "import", help="read a trace file and print its summary"
+    )
+    p_timp.add_argument("file", help="trace file to read")
+    p_timp.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the content-digest integrity check",
+    )
+    p_timp.set_defaults(func=_cmd_trace_import)
 
     p_lint = sub.add_parser(
         "lint",

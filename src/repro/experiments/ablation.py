@@ -26,10 +26,10 @@ from ..core import recipe as recipe_module
 from ..machines.registry import get_machine
 from ..perf.cache import cached_run_trace
 from ..perf.parallel import fan_out
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace
 from ..sim.hierarchy import SimConfig
-from ..sim.trace import ThreadTrace, Trace
 from ..units import to_gb_per_s
-from ..workloads.generators import random_updates
+from ..workloads.generators import random_updates, spawn_thread_generator
 from .harness import RecipeScore, reproduce_all_tables, score_recipe
 
 ThresholdSetting = Tuple[float, float, float]
@@ -160,14 +160,14 @@ def _distance_point(args: Tuple[int, str, int, int]) -> PrefetchDistancePoint:
         accesses = random_updates(
             accesses_per_thread,
             machine.line_bytes,
-            random.Random(rng.randrange(2**31)),
+            spawn_thread_generator(rng),
             region_id=4 * t,
             gap_cycles=12.0,
             prefetch_to_l2=distance > 0,
             prefetch_distance=max(distance, 1),
         )
-        threads.append(ThreadTrace(t, tuple(accesses)))
-    trace = Trace(
+        threads.append(ColumnarThreadTrace.from_columns(t, accesses))
+    trace = ColumnarTrace(
         tuple(threads),
         routine=f"isx_d{distance}",
         line_bytes=machine.line_bytes,

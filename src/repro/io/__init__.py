@@ -1,4 +1,4 @@
-"""Measurement ingestion: CSV and perf-style counter output parsers."""
+"""I/O: measurement parsers and on-disk trace files."""
 
 from .measurements import (
     RoutineMeasurement,
@@ -6,10 +6,20 @@ from .measurements import (
     from_csv,
     from_perf_output,
 )
+from .tracefile import (
+    TRACE_FILE_FORMAT,
+    TRACE_FILE_VERSION,
+    load_trace,
+    save_trace,
+)
 
 __all__ = [
     "RoutineMeasurement",
+    "TRACE_FILE_FORMAT",
+    "TRACE_FILE_VERSION",
     "analyze_measurements",
     "from_csv",
     "from_perf_output",
+    "load_trace",
+    "save_trace",
 ]

@@ -51,13 +51,17 @@ from typing import Any, Optional, Union
 
 from .. import __version__
 from ..errors import CacheKeyError
+from ..sim.coltrace import AnyTrace, trace_digest
 from ..sim.hierarchy import SimConfig, run_trace
 from ..sim.stats import SimStats
-from ..sim.trace import Trace
 
 #: Bump when the cached SimStats representation (or sim semantics whose
 #: change is not reflected in ``repro.__version__``) changes.
-SCHEMA_VERSION = 1
+#: v2: columnar trace layer — traces are digested zero-copy over their
+#: canonical array bytes (repro.sim.coltrace.trace_digest) and the
+#: vectorized generators changed trace content once, so v1 entries must
+#: never be replayed.
+SCHEMA_VERSION = 2
 
 _DISABLE_VALUES = ("0", "off", "false", "no")
 
@@ -100,26 +104,19 @@ def stable_digest(payload: Any) -> str:
     return hashlib.sha256(doc.encode("utf-8")).hexdigest()
 
 
-def _trace_payload(trace: Trace) -> Any:
-    """Compact canonical form of a trace (addresses, kinds, gaps)."""
-    return {
-        "routine": trace.routine,
-        "line_bytes": trace.line_bytes,
-        "threads": [
-            [t.thread_id, [[a.addr, a.kind.value, a.gap_cycles] for a in t.accesses]]
-            for t in trace.threads
-        ],
-    }
-
-
 def digest_for(
-    trace: Trace,
+    trace: AnyTrace,
     config: SimConfig,
     *,
     latency_model: Any = None,
     max_events: int = 50_000_000,
 ) -> str:
     """Stable digest of one simulation's complete physical inputs.
+
+    The trace contributes via :func:`repro.sim.coltrace.trace_digest`
+    — a zero-copy SHA-256 over its canonical array bytes — so digesting
+    no longer walks the trace in Python, and object and columnar traces
+    with the same content produce the same key.
 
     Raises :class:`~repro.errors.CacheKeyError` when an input (e.g. a
     hand-written latency-model object) cannot be canonicalized; callers
@@ -139,7 +136,7 @@ def digest_for(
             "schema": SCHEMA_VERSION,
             "repro_version": __version__,
             "config": _canonical(config),
-            "trace": _trace_payload(trace),
+            "trace": trace_digest(trace),
             "latency_model": model_payload,
             "max_events": max_events,
         }
@@ -296,7 +293,7 @@ def configure_cache(
 
 
 def cached_run_trace(
-    trace: Trace,
+    trace: AnyTrace,
     config: SimConfig,
     *,
     latency_model: Any = None,

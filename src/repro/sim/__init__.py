@@ -6,6 +6,18 @@ simulator" the paper uses for validation (see DESIGN.md §2).
 """
 
 from .cache import CacheArray
+from .coltrace import (
+    AccessColumns,
+    AnyTrace,
+    ColumnarThreadTrace,
+    ColumnarTrace,
+    as_columnar,
+    as_object_trace,
+    columnar_trace,
+    concat_columns,
+    interleave_columns,
+    trace_digest,
+)
 from .engine import Engine
 from .hierarchy import Hierarchy, SimConfig, run_trace
 from .memctrl import MemoryController
@@ -23,8 +35,12 @@ from .trace import Access, AccessKind, ThreadTrace, Trace, trace_from_addresses
 
 __all__ = [
     "Access",
+    "AccessColumns",
     "AccessKind",
+    "AnyTrace",
     "CacheArray",
+    "ColumnarThreadTrace",
+    "ColumnarTrace",
     "CoreStats",
     "Engine",
     "Hierarchy",
@@ -41,6 +57,12 @@ __all__ = [
     "Tlb",
     "TlbStats",
     "Trace",
+    "as_columnar",
+    "as_object_trace",
+    "columnar_trace",
+    "concat_columns",
+    "interleave_columns",
     "run_trace",
+    "trace_digest",
     "trace_from_addresses",
 ]

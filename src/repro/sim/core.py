@@ -13,16 +13,25 @@ things that matter:
 SMT threads are just multiple :class:`ThreadContext` objects bound to
 the same :class:`CoreState` (sharing its caches and MSHRs), exactly the
 resource-sharing the paper describes.
+
+The issue loop never touches :class:`~repro.sim.trace.Access` objects:
+:class:`ThreadDriver` unpacks whichever trace representation it is
+given into parallel plain-Python lists once at construction (columnar
+traces provide them directly via ``issue_columns()``), so the per-event
+work is list indexing only.  Event ordering is bit-identical between
+the object and columnar paths because both feed the engine the exact
+same float values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 from ..errors import SimulationError
+from .coltrace import ColumnarThreadTrace
 from .stats import CoreStats
-from .trace import Access, AccessKind, ThreadTrace
+from .trace import ThreadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .hierarchy import Hierarchy
@@ -32,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 class ThreadContext:
     """Issue state of one hardware thread."""
 
-    trace: ThreadTrace
+    trace: Union[ThreadTrace, ColumnarThreadTrace]
     core_id: int
     window: int
     next_idx: int = 0
@@ -45,13 +54,24 @@ class ThreadContext:
     @property
     def exhausted(self) -> bool:
         """Has the thread issued its whole trace?"""
-        return self.next_idx >= len(self.trace.accesses)
+        return self.next_idx >= len(self.trace)
 
 
 class ThreadDriver:
     """Drives one thread's trace through the hierarchy."""
 
-    __slots__ = ("hierarchy", "engine", "ctx", "core_stats", "_freq_ghz")
+    __slots__ = (
+        "hierarchy",
+        "engine",
+        "ctx",
+        "core_stats",
+        "_addrs",
+        "_kinds",
+        "_demand",
+        "_gaps",
+        "_gaps_ns",
+        "_n",
+    )
 
     def __init__(
         self,
@@ -63,26 +83,37 @@ class ThreadDriver:
         self.engine = hierarchy.engine
         self.ctx = context
         self.core_stats = core_stats
-        self._freq_ghz = hierarchy.machine.frequency_ghz
+        freq_ghz = hierarchy.machine.frequency_ghz
+        trace = context.trace
+        if isinstance(trace, ColumnarThreadTrace):
+            self._addrs, self._kinds, self._gaps = trace.issue_columns()
+        else:
+            accesses = trace.accesses
+            self._addrs = [a.addr for a in accesses]
+            self._kinds = [a.kind for a in accesses]
+            self._gaps = [a.gap_cycles for a in accesses]
+        self._demand = [k.is_demand for k in self._kinds]
+        self._gaps_ns = [g / freq_ghz for g in self._gaps]
+        self._n = len(self._addrs)
 
     def start(self) -> None:
         """Schedule the first issue attempt."""
-        if self.ctx.exhausted:
+        if self._n == 0:
             self._finish()
             return
-        first_gap = self.ctx.trace.accesses[0].gap_cycles / self._freq_ghz
-        self.engine.schedule(first_gap, self._try_issue)
+        self.engine.schedule(self._gaps_ns[0], self._try_issue)
 
     # -- issue path -----------------------------------------------------------
 
     def _try_issue(self) -> None:
         ctx = self.ctx
-        if ctx.done or ctx.exhausted:
+        i = ctx.next_idx
+        if ctx.done or i >= self._n:
             self._maybe_finish()
             return
-        access = ctx.trace.accesses[ctx.next_idx]
+        is_demand = self._demand[i]
 
-        if access.kind.is_demand and ctx.in_flight >= ctx.window:
+        if is_demand and ctx.in_flight >= ctx.window:
             if not ctx.waiting_window:
                 ctx.waiting_window = True
                 ctx.stall_start_ns = self.engine.now
@@ -90,11 +121,12 @@ class ThreadDriver:
 
         # Prefetches are non-blocking: they never enter the window, so
         # their completion must not decrement in_flight.
-        on_complete = (
-            self._on_complete if access.kind.is_demand else self._on_prefetch_done
-        )
+        on_complete = self._on_complete if is_demand else self._on_prefetch_done
         issued = self.hierarchy.issue_access(
-            core_id=ctx.core_id, access=access, on_complete=on_complete
+            core_id=ctx.core_id,
+            addr=self._addrs[i],
+            kind=self._kinds[i],
+            on_complete=on_complete,
         )
         if not issued:
             # L1 MSHR file full: record stall and retry when one frees.
@@ -117,16 +149,15 @@ class ThreadDriver:
             ctx.waiting_mshr = False
 
         self.core_stats.issued_accesses += 1
-        self.core_stats.compute_cycles += access.gap_cycles
-        if access.kind.is_demand:
+        self.core_stats.compute_cycles += self._gaps[i]
+        if is_demand:
             ctx.in_flight += 1
-        ctx.next_idx += 1
+        ctx.next_idx = i + 1
 
-        if ctx.exhausted:
+        if ctx.next_idx >= self._n:
             self._maybe_finish()
             return
-        next_gap = ctx.trace.accesses[ctx.next_idx].gap_cycles / self._freq_ghz
-        self.engine.schedule(next_gap, self._try_issue)
+        self.engine.schedule(self._gaps_ns[ctx.next_idx], self._try_issue)
 
     def _retry_after_mshr(self) -> None:
         if not self.ctx.done:

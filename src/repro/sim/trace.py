@@ -81,14 +81,22 @@ class ThreadTrace:
     def __post_init__(self) -> None:
         if self.thread_id < 0:
             raise TraceError("thread_id must be >= 0")
+        # Count once here: demand_count used to be O(n) per *call*, and
+        # analysis code calls it in ratios and per-thread loops.  The
+        # class is frozen, so the cache goes through object.__setattr__.
+        object.__setattr__(
+            self,
+            "_demand_count",
+            sum(1 for a in self.accesses if a.kind.is_demand),
+        )
 
     def __len__(self) -> int:
         return len(self.accesses)
 
     @property
     def demand_count(self) -> int:
-        """Demand (non-prefetch) accesses in this thread's trace."""
-        return sum(1 for a in self.accesses if a.kind.is_demand)
+        """Demand (non-prefetch) accesses (counted once at construction)."""
+        return self._demand_count  # type: ignore[attr-defined, no-any-return]
 
 
 @dataclass(frozen=True)
@@ -119,16 +127,22 @@ class Trace:
             raise TraceError("duplicate thread ids in trace")
         if self.line_bytes <= 0:
             raise TraceError("line_bytes must be positive")
+        object.__setattr__(
+            self, "_total_accesses", sum(len(t) for t in self.threads)
+        )
+        object.__setattr__(
+            self, "_total_demand", sum(t.demand_count for t in self.threads)
+        )
 
     @property
     def total_accesses(self) -> int:
-        """All accesses across threads."""
-        return sum(len(t) for t in self.threads)
+        """All accesses across threads (counted once at construction)."""
+        return self._total_accesses  # type: ignore[attr-defined, no-any-return]
 
     @property
     def total_demand(self) -> int:
-        """All demand accesses across threads."""
-        return sum(t.demand_count for t in self.threads)
+        """All demand accesses across threads (counted once at construction)."""
+        return self._total_demand  # type: ignore[attr-defined, no-any-return]
 
 
 def trace_from_addresses(

@@ -31,7 +31,7 @@ from ..core.classify import AccessPattern
 from ..errors import ConfigurationError, OptimizationError
 from ..machines.spec import MachineSpec
 from ..optim.transforms import EffectTable, WorkloadState, lookup_effect
-from ..sim.trace import Trace
+from ..sim.coltrace import ColumnarTrace
 
 #: One table row: (steps defining the Source version, step applied or None).
 RowPlan = Tuple[Tuple[Tuple[str, ...], Optional[str]], ...]
@@ -142,7 +142,7 @@ class Workload:
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Access trace of this routine (optionally optimized) for the DES."""
         raise NotImplementedError
 

@@ -23,9 +23,9 @@ from typing import Optional, Sequence
 from ..core.classify import AccessPattern
 from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
-from ..sim.trace import ThreadTrace, Trace
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import cached_compute, spawn_thread_rng
+from .generators import cached_compute, spawn_thread_generator
 
 
 class ComdWorkload(Workload):
@@ -118,7 +118,7 @@ class ComdWorkload(Workload):
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Cache-resident force loop with rare cold misses, big gaps."""
         spec = spec or TraceSpec()
         rng = random.Random(spec.seed)
@@ -127,7 +127,7 @@ class ComdWorkload(Workload):
         gap = 12.0 if vectorized else 25.0  # vectorization shrinks compute
         threads = []
         for t in range(spec.threads):
-            trng = spawn_thread_rng(rng)
+            trng = spawn_thread_generator(rng)
             accesses = cached_compute(
                 spec.accesses_per_thread,
                 line,
@@ -137,8 +137,10 @@ class ComdWorkload(Workload):
                 miss_fraction=0.03,
                 gap_cycles=gap,
             )
-            threads.append(ThreadTrace(thread_id=t, accesses=tuple(accesses)))
-        return Trace(tuple(threads), routine=self.routine, line_bytes=line)
+            threads.append(ColumnarThreadTrace.from_columns(t, accesses))
+        return ColumnarTrace(
+            tuple(threads), routine=self.routine, line_bytes=line
+        )
 
 
 COMD = ComdWorkload()

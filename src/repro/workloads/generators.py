@@ -1,7 +1,8 @@
 """Access-pattern building blocks for workload trace generators.
 
-Each helper emits a list of :class:`~repro.sim.trace.Access` records
-with a distinct statistical signature:
+Each helper emits an :class:`~repro.sim.coltrace.AccessColumns` run
+(structure-of-arrays: addresses, kind codes, gaps) with a distinct
+statistical signature:
 
 * :func:`random_updates` — read-modify-write at random lines over a
   large region (ISx bucket counting): defeats the stream prefetcher;
@@ -15,36 +16,80 @@ with a distinct statistical signature:
 * :func:`cached_compute` — accesses inside a small, cache-resident
   footprint separated by large compute gaps (CoMD force loops).
 
-All helpers take an explicit ``random.Random`` so traces are
-reproducible.
+All helpers take an explicit seeded :class:`numpy.random.Generator`
+(fork one per thread via :func:`spawn_thread_generator`) so traces are
+reproducible, and are fully vectorized: generation cost is a handful of
+array operations regardless of trace length.
+
+.. note:: **Trace-content break (one-time).**  These generators were
+   rewritten from per-access ``random.Random`` loops to vectorized
+   ``numpy.random.Generator`` draws.  The seed-derivation scheme is
+   unchanged (``TraceSpec.seed`` -> parent ``random.Random`` -> one
+   child seed per thread), but the drawn values differ, so every
+   generated trace changed content exactly once at this rewrite.  The
+   perf-cache ``SCHEMA_VERSION`` was bumped alongside, so no stale
+   cached simulation results can be replayed against the new traces.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Optional
+
+import numpy as np
 
 from ..errors import TraceError
-from ..sim.trace import Access, AccessKind
+from ..sim.coltrace import (
+    ADDR_DTYPE,
+    GAP_DTYPE,
+    KIND_CODES,
+    KIND_DTYPE,
+    AccessColumns,
+)
+from ..sim.trace import AccessKind
 
 #: Spacing between logical regions, large enough to avoid set collisions.
 REGION_STRIDE = 256 * 1024 * 1024
 
+#: Spacing between stream bases inside one region (see unit_streams).
+_STREAM_STRIDE = 32 * 1024 * 1024
+
 #: Seed space for per-thread RNG forks (fits any 32-bit seed consumer).
 _THREAD_SEED_BOUND = 2**31
 
+_LOAD = KIND_CODES[AccessKind.LOAD]
+_STORE = KIND_CODES[AccessKind.STORE]
+_SWPF_L1 = KIND_CODES[AccessKind.SWPF_L1]
+_SWPF_L2 = KIND_CODES[AccessKind.SWPF_L2]
+
+#: Gap charged for a software-prefetch instruction (address generation
+#: plus issue; no dependent work waits on it).
+_PREFETCH_GAP = 0.5
+
 
 def spawn_thread_rng(rng: random.Random) -> random.Random:
-    """Fork a deterministic per-thread RNG from a parent trace RNG.
+    """Fork a deterministic per-thread ``random.Random`` from a parent.
+
+    Retained for scalar consumers (e.g. pointer-chase kernels); the
+    vectorized generators in this module take the numpy fork from
+    :func:`spawn_thread_generator` instead.  Both derive the child seed
+    the same way, from the same parent stream.
+    """
+    return random.Random(rng.randrange(_THREAD_SEED_BOUND))
+
+
+def spawn_thread_generator(rng: random.Random) -> np.random.Generator:
+    """Fork a deterministic per-thread numpy Generator from a parent RNG.
 
     Every workload generator seeds one parent ``random.Random`` from
     ``TraceSpec.seed`` and derives one child per simulated thread so the
     per-thread access streams are independent yet fully reproducible.
-    This helper is the single blessed derivation pattern (the
-    determinism lint rule DET002 forbids unseeded ``random.Random()``
-    in trace generation; this is the alternative it points at).
+    This helper is the single blessed derivation pattern for the
+    vectorized generators (the determinism lint rule DET002 forbids
+    unseeded ``numpy.random.default_rng()`` in trace generation; this
+    is the alternative it points at).
     """
-    return random.Random(rng.randrange(_THREAD_SEED_BOUND))
+    return np.random.default_rng(rng.randrange(_THREAD_SEED_BOUND))
 
 
 def region_base(region_id: int) -> int:
@@ -54,10 +99,15 @@ def region_base(region_id: int) -> int:
     return region_id * REGION_STRIDE
 
 
+def _addr_from_lines(base: int, line_idx: np.ndarray, line_bytes: int) -> np.ndarray:
+    """Byte addresses from line indices (computed in int64, stored u8)."""
+    return (base + line_idx.astype(np.int64) * line_bytes).astype(ADDR_DTYPE)
+
+
 def random_updates(
     count: int,
     line_bytes: int,
-    rng: random.Random,
+    rng: np.random.Generator,
     *,
     region_id: int = 0,
     region_bytes: int = 128 * 1024 * 1024,
@@ -65,7 +115,7 @@ def random_updates(
     write_fraction: float = 0.5,
     prefetch_to_l2: bool = False,
     prefetch_distance: int = 8,
-) -> List[Access]:
+) -> AccessColumns:
     """Random-line read(-modify-write) accesses; optional L2 SW prefetch.
 
     With ``prefetch_to_l2`` the generator emits an ``SWPF_L2`` for the
@@ -77,17 +127,32 @@ def random_updates(
         raise TraceError("count must be positive")
     base = region_base(region_id)
     lines = region_bytes // line_bytes
-    targets = [rng.randrange(lines) * line_bytes + base for _ in range(count)]
-    out: List[Access] = []
-    for i, addr in enumerate(targets):
-        if prefetch_to_l2 and i + prefetch_distance < count:
-            out.append(
-                Access(targets[i + prefetch_distance], AccessKind.SWPF_L2, 0.5)
-            )
-        write = rng.random() < write_fraction
-        kind = AccessKind.STORE if write else AccessKind.LOAD
-        out.append(Access(addr, kind, gap_cycles))
-    return out
+    targets = _addr_from_lines(base, rng.integers(0, lines, size=count), line_bytes)
+    demand_kind = np.where(
+        rng.random(count) < write_fraction, _STORE, _LOAD
+    ).astype(KIND_DTYPE)
+    if not prefetch_to_l2:
+        return AccessColumns(
+            targets, demand_kind, np.full(count, gap_cycles, GAP_DTYPE)
+        )
+    # Software-pipelined layout: updates 0..n_pf-1 are each preceded by a
+    # prefetch of the target prefetch_distance updates ahead; the final
+    # prefetch_distance updates have no lookahead left to prefetch.
+    n_pf = max(0, count - prefetch_distance)
+    total = count + n_pf
+    addr = np.empty(total, ADDR_DTYPE)
+    kind = np.empty(total, KIND_DTYPE)
+    gap = np.empty(total, GAP_DTYPE)
+    addr[0 : 2 * n_pf : 2] = targets[prefetch_distance:]
+    addr[1 : 2 * n_pf : 2] = targets[:n_pf]
+    addr[2 * n_pf :] = targets[n_pf:]
+    kind[0 : 2 * n_pf : 2] = _SWPF_L2
+    kind[1 : 2 * n_pf : 2] = demand_kind[:n_pf]
+    kind[2 * n_pf :] = demand_kind[n_pf:]
+    gap[0 : 2 * n_pf : 2] = _PREFETCH_GAP
+    gap[1 : 2 * n_pf : 2] = gap_cycles
+    gap[2 * n_pf :] = gap_cycles
+    return AccessColumns(addr, kind, gap)
 
 
 def unit_streams(
@@ -99,67 +164,78 @@ def unit_streams(
     element_bytes: Optional[int] = None,
     gap_cycles: float = 2.0,
     store_stream: bool = False,
-) -> List[Access]:
+) -> AccessColumns:
     """``streams`` interleaved unit-stride streams; last one may store."""
     if count <= 0 or streams <= 0:
         raise TraceError("count and streams must be positive")
     stride = element_bytes if element_bytes else line_bytes
-    bases = [
-        region_base(region_id) + s * (32 * 1024 * 1024) for s in range(streams)
-    ]
-    offsets = [0] * streams
-    out: List[Access] = []
-    for i in range(count):
-        s = i % streams
-        kind = (
-            AccessKind.STORE
-            if store_stream and s == streams - 1
-            else AccessKind.LOAD
-        )
-        out.append(Access(bases[s] + offsets[s], kind, gap_cycles))
-        offsets[s] += stride
-    return out
+    base = region_base(region_id)
+    idx = np.arange(count, dtype=np.int64)
+    stream = idx % streams
+    position = idx // streams
+    addr = (base + stream * _STREAM_STRIDE + position * stride).astype(ADDR_DTYPE)
+    kind = np.full(count, _LOAD, KIND_DTYPE)
+    if store_stream:
+        kind[stream == streams - 1] = _STORE
+    return AccessColumns(addr, kind, np.full(count, gap_cycles, GAP_DTYPE))
 
 
 def gather_accesses(
     count: int,
     line_bytes: int,
-    rng: random.Random,
+    rng: np.random.Generator,
     *,
     region_id: int = 0,
     region_bytes: int = 64 * 1024 * 1024,
     locality: float = 0.0,
     window_lines: int = 512,
     gap_cycles: float = 3.0,
-) -> List[Access]:
+) -> AccessColumns:
     """Indexed loads with tunable locality.
 
     ``locality`` is the probability that the next gather lands within a
     sliding window of ``window_lines`` around the previous target
     (HPCG's 27-neighbor structure has high locality; PENNANT's corner
     indirection much less).
+
+    The walk is vectorized as a reset-cumsum: a non-local step jumps to
+    a fresh uniform line and anchors the chain; local steps accumulate
+    window offsets from the most recent anchor.  Positions are clipped
+    to the region at the end rather than per step — for any realistic
+    ``region_bytes``/``window_lines`` ratio the boundary is hit with
+    vanishing probability, so the statistical signature is unchanged.
     """
+    if count <= 0:
+        raise TraceError("count must be positive")
     if not 0.0 <= locality <= 1.0:
         raise TraceError("locality must be in [0,1]")
     base = region_base(region_id)
     lines = max(window_lines + 1, region_bytes // line_bytes)
-    current = rng.randrange(lines)
-    out: List[Access] = []
-    for _ in range(count):
-        if rng.random() < locality:
-            lo = max(0, current - window_lines // 2)
-            hi = min(lines - 1, current + window_lines // 2)
-            current = rng.randint(lo, hi)
-        else:
-            current = rng.randrange(lines)
-        out.append(Access(base + current * line_bytes, AccessKind.LOAD, gap_cycles))
-    return out
+    start = int(rng.integers(0, lines))
+    is_local = rng.random(count) < locality
+    jumps = rng.integers(0, lines, size=count)
+    half = window_lines // 2
+    offsets = rng.integers(-half, half + 1, size=count)
+    idx = np.arange(count, dtype=np.int64)
+    # Index of the latest jump at-or-before each step (-1 = none yet).
+    anchor = np.maximum.accumulate(np.where(~is_local, idx, -1))
+    anchored = anchor >= 0
+    chain_base = np.where(anchored, jumps[anchor], start)
+    drift = np.cumsum(np.where(is_local, offsets, 0))
+    drift_at_anchor = np.where(anchored, drift[anchor], 0)
+    position = np.clip(chain_base + (drift - drift_at_anchor), 0, lines - 1)
+    addr = _addr_from_lines(base, position, line_bytes)
+    return AccessColumns(
+        addr,
+        np.full(count, _LOAD, KIND_DTYPE),
+        np.full(count, gap_cycles, GAP_DTYPE),
+    )
 
 
 def short_bursts(
     count: int,
     line_bytes: int,
-    rng: random.Random,
+    rng: np.random.Generator,
     *,
     region_id: int = 0,
     burst_elements: int = 48,
@@ -167,60 +243,79 @@ def short_bursts(
     gap_cycles: float = 4.0,
     sw_prefetch: bool = False,
     region_bytes: int = 64 * 1024 * 1024,
-) -> List[Access]:
+) -> AccessColumns:
     """Short unit-stride bursts with jumps (SNAP's small inner loops).
 
     With ``sw_prefetch``, each burst is preceded by ``SWPF_L1`` touches
     of the burst's lines — the directive-driven prefetching the paper
     applies to ``dim3_sweep``.
     """
+    if count <= 0:
+        raise TraceError("count must be positive")
     if burst_elements <= 0:
         raise TraceError("burst_elements must be positive")
     base = region_base(region_id)
     lines = region_bytes // line_bytes
-    out: List[Access] = []
-    emitted = 0
-    while emitted < count:
-        start = rng.randrange(lines) * line_bytes + base
-        burst_lines = max(1, burst_elements * element_bytes // line_bytes)
-        if sw_prefetch:
-            for j in range(burst_lines):
-                out.append(Access(start + j * line_bytes, AccessKind.SWPF_L1, 0.5))
-        n = min(burst_elements, count - emitted)
-        for j in range(n):
-            out.append(Access(start + j * element_bytes, AccessKind.LOAD, gap_cycles))
-        emitted += n
-    return out
+    n_bursts = -(-count // burst_elements)  # ceil
+    last_n = count - (n_bursts - 1) * burst_elements
+    burst_lines = max(1, burst_elements * element_bytes // line_bytes)
+    pf = burst_lines if sw_prefetch else 0
+    per = pf + burst_elements
+    starts = (
+        base + rng.integers(0, lines, size=n_bursts).astype(np.int64) * line_bytes
+    )
+    # One row per burst: [prefetch columns][demand columns], then flatten
+    # row-major — which reproduces the sequential emit order exactly.
+    addr2 = np.empty((n_bursts, per), dtype=np.int64)
+    if pf:
+        addr2[:, :pf] = starts[:, None] + np.arange(pf) * line_bytes
+    addr2[:, pf:] = starts[:, None] + np.arange(burst_elements) * element_bytes
+    kind_row = np.full(per, _LOAD, KIND_DTYPE)
+    kind_row[:pf] = _SWPF_L1
+    gap_row = np.full(per, gap_cycles, GAP_DTYPE)
+    gap_row[:pf] = _PREFETCH_GAP
+    addr = addr2.reshape(-1).astype(ADDR_DTYPE)
+    kind = np.tile(kind_row, n_bursts)
+    gap = np.tile(gap_row, n_bursts)
+    # The last burst prefetches all its lines but demands only last_n
+    # elements; trim the surplus trailing demand slots.
+    trim = burst_elements - last_n
+    if trim:
+        addr, kind, gap = addr[:-trim], kind[:-trim], gap[:-trim]
+    return AccessColumns(addr, kind, gap)
 
 
 def cached_compute(
     count: int,
     line_bytes: int,
-    rng: random.Random,
+    rng: np.random.Generator,
     *,
     region_id: int = 0,
     footprint_bytes: int = 24 * 1024,
     miss_fraction: float = 0.02,
     cold_region_bytes: int = 64 * 1024 * 1024,
     gap_cycles: float = 20.0,
-) -> List[Access]:
+) -> AccessColumns:
     """Cache-resident accesses with rare cold misses and big compute gaps.
 
     Models CoMD's ``eamForce``: neighbor data mostly fits in cache, a
     small fraction of touches goes to memory, and heavy floating-point
     work separates memory operations.
     """
+    if count <= 0:
+        raise TraceError("count must be positive")
     if not 0.0 <= miss_fraction <= 1.0:
         raise TraceError("miss_fraction must be in [0,1]")
     hot_base = region_base(region_id)
-    cold_base = region_base(region_id) + REGION_STRIDE // 2
+    cold_base = hot_base + REGION_STRIDE // 2
     hot_lines = max(1, footprint_bytes // line_bytes)
     cold_lines = cold_region_bytes // line_bytes
-    out: List[Access] = []
-    for _ in range(count):
-        if rng.random() < miss_fraction:
-            addr = cold_base + rng.randrange(cold_lines) * line_bytes
-        else:
-            addr = hot_base + rng.randrange(hot_lines) * line_bytes
-        out.append(Access(addr, AccessKind.LOAD, gap_cycles))
-    return out
+    miss = rng.random(count) < miss_fraction
+    hot_addr = hot_base + rng.integers(0, hot_lines, size=count) * line_bytes
+    cold_addr = cold_base + rng.integers(0, cold_lines, size=count) * line_bytes
+    addr = np.where(miss, cold_addr, hot_addr).astype(ADDR_DTYPE)
+    return AccessColumns(
+        addr,
+        np.full(count, _LOAD, KIND_DTYPE),
+        np.full(count, gap_cycles, GAP_DTYPE),
+    )

@@ -29,9 +29,9 @@ from typing import Optional, Sequence
 from ..core.classify import AccessPattern
 from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
-from ..sim.trace import ThreadTrace, Trace
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace, interleave_columns
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import gather_accesses, spawn_thread_rng, unit_streams
+from .generators import gather_accesses, spawn_thread_generator, unit_streams
 
 
 class HpcgWorkload(Workload):
@@ -120,7 +120,7 @@ class HpcgWorkload(Workload):
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Matrix/result streams (85%) + local gathers of x (15%)."""
         spec = spec or TraceSpec()
         rng = random.Random(spec.seed)
@@ -128,7 +128,7 @@ class HpcgWorkload(Workload):
         gap = 1.5 if "vectorize" in steps else 3.0
         threads = []
         for t in range(spec.threads):
-            trng = spawn_thread_rng(rng)
+            trng = spawn_thread_generator(rng)
             n_stream = int(spec.accesses_per_thread * 0.85)
             streams = unit_streams(
                 n_stream,
@@ -152,16 +152,11 @@ class HpcgWorkload(Workload):
                 locality=0.85,
                 gap_cycles=gap,
             )
-            merged = []
-            gi = 0
-            for i, acc in enumerate(streams):
-                merged.append(acc)
-                if i % 6 == 5 and gi < len(gathers):
-                    merged.append(gathers[gi])
-                    gi += 1
-            merged.extend(gathers[gi:])
-            threads.append(ThreadTrace(thread_id=t, accesses=tuple(merged)))
-        return Trace(tuple(threads), routine=self.routine, line_bytes=line)
+            merged = interleave_columns(streams, gathers, period=6)
+            threads.append(ColumnarThreadTrace.from_columns(t, merged))
+        return ColumnarTrace(
+            tuple(threads), routine=self.routine, line_bytes=line
+        )
 
 
 HPCG = HpcgWorkload()

@@ -33,9 +33,9 @@ from typing import Optional, Sequence
 from ..core.classify import AccessPattern
 from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
-from ..sim.trace import Access, AccessKind, ThreadTrace, Trace
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace, interleave_columns
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import random_updates, spawn_thread_rng, unit_streams
+from .generators import random_updates, spawn_thread_generator, unit_streams
 
 
 class IsxWorkload(Workload):
@@ -133,7 +133,7 @@ class IsxWorkload(Workload):
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Random bucket updates + a thin key-stream, per thread."""
         spec = spec or TraceSpec()
         rng = random.Random(spec.seed)
@@ -147,7 +147,7 @@ class IsxWorkload(Workload):
         gap = base_gap * (line / 64) ** 0.5
         threads = []
         for t in range(spec.threads):
-            trng = spawn_thread_rng(rng)
+            trng = spawn_thread_generator(rng)
             updates = random_updates(
                 int(spec.accesses_per_thread * 0.9),
                 line,
@@ -168,22 +168,11 @@ class IsxWorkload(Workload):
                 element_bytes=8,
                 gap_cycles=gap,
             )
-            merged = self._interleave(updates, keys)
-            threads.append(ThreadTrace(thread_id=t, accesses=tuple(merged)))
-        return Trace(tuple(threads), routine=self.routine, line_bytes=line)
-
-    @staticmethod
-    def _interleave(major, minor):
-        """Sprinkle the minor stream through the major one (9:1)."""
-        out = []
-        mi = 0
-        for i, acc in enumerate(major):
-            out.append(acc)
-            if i % 9 == 8 and mi < len(minor):
-                out.append(minor[mi])
-                mi += 1
-        out.extend(minor[mi:])
-        return out
+            merged = interleave_columns(updates, keys, period=9)
+            threads.append(ColumnarThreadTrace.from_columns(t, merged))
+        return ColumnarTrace(
+            tuple(threads), routine=self.routine, line_bytes=line
+        )
 
 
 ISX = IsxWorkload()

@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 from ..core.classify import AccessPattern
 from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
-from ..sim.trace import ThreadTrace, Trace
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace, concat_columns
 from .base import MachineCalibration, TraceSpec, Workload
 from .generators import unit_streams
 
@@ -118,7 +118,7 @@ class MinighostWorkload(Workload):
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Many unit-stride plane streams + a store stream.
 
         Tiling is modeled by revisiting a block: the same stream
@@ -134,18 +134,20 @@ class MinighostWorkload(Workload):
             if tiled:
                 # Shorter stream segments with re-traversal: extra L2 hits.
                 segment = spec.accesses_per_thread // 4
-                accesses = []
-                for rep in range(4):
-                    seg = unit_streams(
-                        segment,
-                        line,
-                        streams=n_streams,
-                        region_id=16 * t + (rep % 2),
-                        element_bytes=8,
-                        gap_cycles=gap,
-                        store_stream=True,
-                    )
-                    accesses.extend(seg)
+                accesses = concat_columns(
+                    [
+                        unit_streams(
+                            segment,
+                            line,
+                            streams=n_streams,
+                            region_id=16 * t + (rep % 2),
+                            element_bytes=8,
+                            gap_cycles=gap,
+                            store_stream=True,
+                        )
+                        for rep in range(4)
+                    ]
+                )
             else:
                 accesses = unit_streams(
                     spec.accesses_per_thread,
@@ -156,8 +158,10 @@ class MinighostWorkload(Workload):
                     gap_cycles=gap,
                     store_stream=True,
                 )
-            threads.append(ThreadTrace(thread_id=t, accesses=tuple(accesses)))
-        return Trace(tuple(threads), routine=self.routine, line_bytes=line)
+            threads.append(ColumnarThreadTrace.from_columns(t, accesses))
+        return ColumnarTrace(
+            tuple(threads), routine=self.routine, line_bytes=line
+        )
 
 
 MINIGHOST = MinighostWorkload()

@@ -27,9 +27,9 @@ from typing import Optional, Sequence
 from ..core.classify import AccessPattern
 from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
-from ..sim.trace import ThreadTrace, Trace
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace, interleave_columns
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import gather_accesses, spawn_thread_rng, unit_streams
+from .generators import gather_accesses, spawn_thread_generator, unit_streams
 
 
 class PennantWorkload(Workload):
@@ -121,7 +121,7 @@ class PennantWorkload(Workload):
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Low-locality gathers (70%) + a few mesh streams (30%)."""
         spec = spec or TraceSpec()
         rng = random.Random(spec.seed)
@@ -130,7 +130,7 @@ class PennantWorkload(Workload):
         gap = 2.0 if vectorized else 8.0  # scalar gather chain is slow
         threads = []
         for t in range(spec.threads):
-            trng = spawn_thread_rng(rng)
+            trng = spawn_thread_generator(rng)
             n_gather = int(spec.accesses_per_thread * 0.7)
             gathers = gather_accesses(
                 n_gather,
@@ -149,16 +149,11 @@ class PennantWorkload(Workload):
                 element_bytes=8,
                 gap_cycles=gap,
             )
-            merged = []
-            si = 0
-            for i, acc in enumerate(gathers):
-                merged.append(acc)
-                if i % 7 == 6 and si < len(streams):
-                    merged.append(streams[si])
-                    si += 1
-            merged.extend(streams[si:])
-            threads.append(ThreadTrace(thread_id=t, accesses=tuple(merged)))
-        return Trace(tuple(threads), routine=self.routine, line_bytes=line)
+            merged = interleave_columns(gathers, streams, period=7)
+            threads.append(ColumnarThreadTrace.from_columns(t, merged))
+        return ColumnarTrace(
+            tuple(threads), routine=self.routine, line_bytes=line
+        )
 
 
 PENNANT = PennantWorkload()

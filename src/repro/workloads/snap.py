@@ -25,9 +25,9 @@ from typing import Optional, Sequence
 from ..core.classify import AccessPattern
 from ..machines.spec import MachineSpec
 from ..optim.transforms import TransformEffect
-from ..sim.trace import ThreadTrace, Trace
+from ..sim.coltrace import ColumnarThreadTrace, ColumnarTrace
 from .base import MachineCalibration, TraceSpec, Workload
-from .generators import short_bursts, spawn_thread_rng
+from .generators import short_bursts, spawn_thread_generator
 
 
 class SnapWorkload(Workload):
@@ -116,7 +116,7 @@ class SnapWorkload(Workload):
         *,
         steps: Sequence[str] = (),
         spec: Optional[TraceSpec] = None,
-    ) -> Trace:
+    ) -> ColumnarTrace:
         """Short bursts (nang-sized inner loops) with compute gaps."""
         spec = spec or TraceSpec()
         rng = random.Random(spec.seed)
@@ -124,7 +124,7 @@ class SnapWorkload(Workload):
         prefetched = "sw_prefetch" in steps
         threads = []
         for t in range(spec.threads):
-            trng = spawn_thread_rng(rng)
+            trng = spawn_thread_generator(rng)
             accesses = short_bursts(
                 spec.accesses_per_thread,
                 line,
@@ -135,8 +135,10 @@ class SnapWorkload(Workload):
                 gap_cycles=5.0,
                 sw_prefetch=prefetched,
             )
-            threads.append(ThreadTrace(thread_id=t, accesses=tuple(accesses)))
-        return Trace(tuple(threads), routine=self.routine, line_bytes=line)
+            threads.append(ColumnarThreadTrace.from_columns(t, accesses))
+        return ColumnarTrace(
+            tuple(threads), routine=self.routine, line_bytes=line
+        )
 
 
 SNAP = SnapWorkload()

@@ -21,8 +21,18 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
+import numpy as np
+
 from ..errors import TraceError
-from ..sim.trace import Access, AccessKind, ThreadTrace, Trace
+from ..sim.coltrace import (
+    ADDR_DTYPE,
+    GAP_DTYPE,
+    KIND_CODES,
+    KIND_DTYPE,
+    ColumnarThreadTrace,
+    ColumnarTrace,
+)
+from ..sim.trace import Access, AccessKind, ThreadTrace
 
 #: Region size per stream; large enough that streams never wrap into cache.
 _REGION_BYTES = 64 * 1024 * 1024
@@ -66,7 +76,7 @@ def throughput_thread(
     streams: int = 8,
     gap_cycles: float = 0.0,
     element_bytes: int = 0,
-) -> ThreadTrace:
+) -> ColumnarThreadTrace:
     """One load thread: ``streams`` unit-stride read streams, interleaved.
 
     ``gap_cycles`` is the inserted delay between consecutive accesses —
@@ -76,17 +86,17 @@ def throughput_thread(
     if accesses_total <= 0 or streams <= 0:
         raise TraceError("accesses_total and streams must be positive")
     stride = element_bytes if element_bytes > 0 else line_bytes
-    bases = [
-        (thread_id * streams + s) * _REGION_BYTES + s * 128 * line_bytes
-        for s in range(streams)
-    ]
-    offsets = [0] * streams
-    accesses = []
-    for i in range(accesses_total):
-        s = i % streams
-        accesses.append(Access(bases[s] + offsets[s], AccessKind.LOAD, gap_cycles))
-        offsets[s] += stride
-    return ThreadTrace(thread_id=thread_id, accesses=tuple(accesses))
+    idx = np.arange(accesses_total, dtype=np.int64)
+    stream = idx % streams
+    step = idx // streams
+    bases = (
+        (thread_id * streams + stream) * _REGION_BYTES
+        + stream * 128 * line_bytes
+    )
+    addr = (bases + step * stride).astype(ADDR_DTYPE)
+    kind = np.full(accesses_total, KIND_CODES[AccessKind.LOAD], dtype=KIND_DTYPE)
+    gap = np.full(accesses_total, gap_cycles, dtype=GAP_DTYPE)
+    return ColumnarThreadTrace(thread_id, addr, kind, gap)
 
 
 def throughput_trace(
@@ -97,11 +107,11 @@ def throughput_trace(
     streams_per_thread: int = 8,
     gap_cycles: float = 0.0,
     routine: str = "xmem_load",
-) -> Trace:
+) -> ColumnarTrace:
     """A multi-threaded throughput workload at one load level."""
     if threads <= 0:
         raise TraceError("threads must be positive")
-    return Trace(
+    return ColumnarTrace(
         threads=tuple(
             throughput_thread(
                 t,

@@ -1,0 +1,119 @@
+"""CLI trace export/import and ``simulate --trace``."""
+
+from repro.cli import main
+from repro.io import load_trace
+
+
+class TestTraceExportImport:
+    def test_export_then_import_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "isx.trace"
+        code = main(
+            [
+                "trace",
+                "export",
+                "--machine",
+                "skl",
+                "--workload",
+                "isx",
+                "--accesses",
+                "300",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        export_out = capsys.readouterr().out
+        assert "sha256" in export_out
+        assert out.exists()
+
+        code = main(["trace", "import", str(out)])
+        assert code == 0
+        import_out = capsys.readouterr().out
+        assert "count_local_keys" in import_out
+        assert "verified" in import_out
+        # Export and import report the same content digest.
+        digest = export_out.split("sha256 ")[1].split()[0]
+        assert digest in import_out
+
+    def test_export_seed_changes_content(self, tmp_path, capsys):
+        paths = []
+        for seed in (1, 2):
+            p = tmp_path / f"s{seed}.trace"
+            main(
+                [
+                    "trace",
+                    "export",
+                    "--machine",
+                    "skl",
+                    "--workload",
+                    "isx",
+                    "--accesses",
+                    "200",
+                    "--seed",
+                    str(seed),
+                    "--out",
+                    str(p),
+                ]
+            )
+            paths.append(p)
+        capsys.readouterr()
+        a, b = (load_trace(p) for p in paths)
+        assert a != b
+
+    def test_import_unverified(self, tmp_path, capsys):
+        out = tmp_path / "t.trace"
+        main(
+            [
+                "trace",
+                "export",
+                "--machine",
+                "skl",
+                "--workload",
+                "hpcg",
+                "--accesses",
+                "200",
+                "--out",
+                str(out),
+                "--compress",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", "import", str(out), "--no-verify"]) == 0
+        assert "unverified" in capsys.readouterr().out
+
+    def test_import_missing_file_is_cli_error(self, tmp_path, capsys):
+        code = main(["trace", "import", str(tmp_path / "nope.trace")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulateFromFile:
+    def test_simulate_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "isx.trace"
+        main(
+            [
+                "trace",
+                "export",
+                "--machine",
+                "knl",
+                "--workload",
+                "isx",
+                "--accesses",
+                "400",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["simulate", "--machine", "knl", "--trace", str(out)]
+        )
+        assert code == 0
+        sim_out = capsys.readouterr().out
+        assert "count_local_keys" in sim_out
+        assert "2-core" in sim_out  # cores derived from the trace
+
+    def test_simulate_requires_workload_or_trace(self, capsys):
+        code = main(["simulate", "--machine", "skl"])
+        assert code == 2
+        assert "--workload or --trace" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""Columnar (structure-of-arrays) trace layer: losslessness and identity.
+
+The tentpole contract of :mod:`repro.sim.coltrace`: the columnar
+representation is a pure change of layout.  Hypothesis drives random
+traces through (a) the object<->columnar round trip, (b) the shared
+content digest, and (c) full simulations on both representations —
+which must agree bit for bit (`SimStats.fingerprint`).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.machines import get_machine
+from repro.sim import SimConfig, run_trace
+from repro.sim.coltrace import (
+    AccessColumns,
+    ColumnarThreadTrace,
+    ColumnarTrace,
+    as_columnar,
+    as_object_trace,
+    concat_columns,
+    interleave_columns,
+    trace_digest,
+)
+from repro.sim.trace import Access, AccessKind, ThreadTrace, Trace
+
+KINDS = list(AccessKind)
+
+
+@st.composite
+def object_traces(draw, max_threads=3, max_accesses=40):
+    n_threads = draw(st.integers(1, max_threads))
+    threads = []
+    for t in range(n_threads):
+        n = draw(st.integers(1, max_accesses))
+        accesses = tuple(
+            Access(
+                draw(st.integers(0, 2**40)) * 64,
+                draw(st.sampled_from(KINDS)),
+                draw(
+                    st.floats(
+                        0.0, 500.0, allow_nan=False, allow_infinity=False
+                    )
+                ),
+            )
+            for _ in range(n)
+        )
+        threads.append(ThreadTrace(t, accesses))
+    return Trace(tuple(threads), routine="prop", line_bytes=64)
+
+
+class TestRoundTrip:
+    @given(trace=object_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_object_columnar_object_is_lossless(self, trace):
+        assert ColumnarTrace.from_trace(trace).to_trace() == trace
+
+    @given(trace=object_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_digest_agrees_across_representations(self, trace):
+        assert trace_digest(trace) == trace_digest(ColumnarTrace.from_trace(trace))
+
+    @given(trace=object_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_lazy_access_view_matches_source(self, trace):
+        col = ColumnarTrace.from_trace(trace)
+        for obj_t, col_t in zip(trace.threads, col.threads):
+            assert col_t.accesses == obj_t.accesses
+            assert col_t.demand_count == obj_t.demand_count
+            assert len(col_t) == len(obj_t)
+
+    def test_as_helpers_are_idempotent(self):
+        trace = Trace(
+            (ThreadTrace(0, (Access(0, AccessKind.LOAD, 1.0),)),),
+            routine="r",
+        )
+        col = as_columnar(trace)
+        assert as_columnar(col) is col
+        obj = as_object_trace(col)
+        assert as_object_trace(obj) is obj
+        assert obj == trace
+
+
+class TestFingerprintIdentity:
+    @given(trace=object_traces(max_threads=2, max_accesses=60))
+    @settings(max_examples=8, deadline=None)
+    def test_simulation_identical_on_both_paths(self, trace):
+        config = SimConfig(machine=get_machine("skl"), sim_cores=len(trace.threads))
+        obj_stats = run_trace(trace, config)
+        col_stats = run_trace(ColumnarTrace.from_trace(trace), config)
+        assert obj_stats.fingerprint() == col_stats.fingerprint()
+
+
+class TestCombinators:
+    @given(
+        major_n=st.integers(0, 40),
+        minor_n=st.integers(0, 12),
+        period=st.integers(1, 9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleave_matches_reference_loop(self, major_n, minor_n, period):
+        rng = np.random.default_rng(5)
+        major = AccessColumns(
+            rng.integers(0, 1000, major_n) * 64,
+            np.zeros(major_n, dtype=np.uint8),
+            np.full(major_n, 2.0),
+        )
+        minor = AccessColumns(
+            rng.integers(0, 1000, minor_n) * 64,
+            np.full(minor_n, 3, dtype=np.uint8),
+            np.full(minor_n, 0.5),
+        )
+        # The historical per-object merge loop from the workload modules.
+        expected, pending = [], list(minor)
+        for i, access in enumerate(major, start=1):
+            expected.append(access)
+            if pending and i % period == 0:
+                expected.append(pending.pop(0))
+        expected.extend(pending)
+        merged = interleave_columns(major, minor, period=period)
+        assert list(merged) == expected
+
+    def test_interleave_rejects_bad_period(self):
+        with pytest.raises(TraceError):
+            interleave_columns(AccessColumns.empty(), AccessColumns.empty(), period=0)
+
+    def test_concat_preserves_order(self):
+        a = AccessColumns.from_accesses([Access(0, AccessKind.LOAD, 1.0)])
+        b = AccessColumns.from_accesses([Access(64, AccessKind.STORE, 2.0)])
+        assert list(concat_columns([a, b])) == list(a) + list(b)
+        assert len(concat_columns([])) == 0
+
+    def test_slicing_returns_columns(self):
+        run = AccessColumns.from_accesses(
+            [Access(i * 64, AccessKind.LOAD, 1.0) for i in range(10)]
+        )
+        head = run[:3]
+        assert isinstance(head, AccessColumns)
+        assert list(head) == list(run)[:3]
+        assert run[4] == Access(256, AccessKind.LOAD, 1.0)
+
+
+class TestValidation:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            AccessColumns(
+                np.zeros(3, np.uint64), np.zeros(2, np.uint8), np.zeros(3)
+            )
+
+    def test_bad_kind_code_rejected(self):
+        with pytest.raises(TraceError):
+            AccessColumns(
+                np.zeros(1, np.uint64),
+                np.array([7], dtype=np.uint8),
+                np.zeros(1),
+            )
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            AccessColumns(
+                np.zeros(1, np.uint64),
+                np.zeros(1, np.uint8),
+                np.array([-1.0]),
+            )
+
+    def test_duplicate_thread_ids_rejected(self):
+        t = ColumnarThreadTrace(
+            0, np.zeros(1, np.uint64), np.zeros(1, np.uint8), np.ones(1)
+        )
+        with pytest.raises(TraceError):
+            ColumnarTrace((t, t))
+
+    def test_thread_arrays_are_read_only(self):
+        t = ColumnarThreadTrace(
+            0, np.zeros(2, np.uint64), np.zeros(2, np.uint8), np.ones(2)
+        )
+        with pytest.raises(ValueError):
+            t.addr[0] = 1
+
+
+class TestCachedCounts:
+    def test_counts_match_recomputation(self):
+        trace = Trace(
+            (
+                ThreadTrace(
+                    0,
+                    (
+                        Access(0, AccessKind.LOAD, 1.0),
+                        Access(64, AccessKind.SWPF_L1, 0.5),
+                        Access(128, AccessKind.STORE, 1.0),
+                    ),
+                ),
+                ThreadTrace(1, (Access(192, AccessKind.SWPF_L2, 0.5),)),
+            ),
+            routine="r",
+        )
+        col = ColumnarTrace.from_trace(trace)
+        for t in (trace, col):
+            assert t.total_accesses == 4
+            assert t.total_demand == 2
+        assert trace.threads[0].demand_count == 2
+        assert col.threads[1].demand_count == 0

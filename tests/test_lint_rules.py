@@ -61,6 +61,42 @@ class TestDeterminismRule:
         assert [v.rule_id for v in bad.violations] == ["DET002"]
         assert good.violations == []
 
+    def test_numpy_legacy_global_flagged(self):
+        text = "import numpy as np\nx = np.random.randint(10)\n"
+        assert [
+            v.rule_id for v in _lint("DET", SIM / "x.py", text).violations
+        ] == ["DET002"]
+
+    def test_numpy_unseeded_default_rng_flagged_seeded_ok(self):
+        bad = _lint(
+            "DET", SIM / "x.py", "import numpy as np\nr = np.random.default_rng()\n"
+        )
+        good = _lint(
+            "DET", SIM / "x.py", "import numpy as np\nr = np.random.default_rng(3)\n"
+        )
+        assert [v.rule_id for v in bad.violations] == ["DET002"]
+        assert good.violations == []
+
+    def test_numpy_unseeded_bit_generator_flagged(self):
+        text = "import numpy as np\ng = np.random.PCG64()\n"
+        assert [
+            v.rule_id for v in _lint("DET", SIM / "x.py", text).violations
+        ] == ["DET002"]
+
+    def test_numpy_from_import_default_rng_flagged(self):
+        text = "from numpy.random import default_rng\nr = default_rng()\n"
+        assert [
+            v.rule_id for v in _lint("DET", SIM / "x.py", text).violations
+        ] == ["DET002"]
+
+    def test_numpy_generator_method_calls_pass(self):
+        text = (
+            "import numpy as np\n"
+            "def gen(rng: np.random.Generator):\n"
+            "    return rng.integers(0, 10, size=5)\n"
+        )
+        assert _lint("DET", SIM / "gen.py", text).violations == []
+
     def test_out_of_scope_path_not_checked(self):
         result = _lint(
             "DET", "src/repro/io/x.py", "import time\nt = time.time()\n"
@@ -264,6 +300,55 @@ class TestCacheKeyChecks:
         source = SourceFile(Path("src/repro/perf/cache.py"), text="x = 1\n")
         result = LintRunner([get_rule("KEY")]).run_sources([source])
         assert result.errors == []
+
+    def test_columnar_trace_fields_all_reach_digest(self):
+        from repro.sim.coltrace import ColumnarTrace, trace_digest
+        from repro.sim.trace import Access, AccessKind, ThreadTrace, Trace
+
+        trace = ColumnarTrace.from_trace(
+            Trace(
+                (
+                    ThreadTrace(
+                        0,
+                        (
+                            Access(0, AccessKind.LOAD, 1.0),
+                            Access(64, AccessKind.STORE, 2.0),
+                        ),
+                    ),
+                ),
+                routine="audit",
+            )
+        )
+        found = list(
+            check_digest_sensitivity(
+                trace, trace_digest, report_path="t.py", report_line=1
+            )
+        )
+        assert found == []
+
+    def test_columnar_digest_blind_spot_flagged(self):
+        import dataclasses as dc
+
+        from repro.sim.coltrace import ColumnarTrace, trace_digest
+        from repro.sim.trace import Access, AccessKind, ThreadTrace, Trace
+
+        trace = ColumnarTrace.from_trace(
+            Trace(
+                (ThreadTrace(0, (Access(0, AccessKind.LOAD, 1.0),)),),
+                routine="audit",
+            )
+        )
+
+        def blind_to_line_bytes(t):
+            return trace_digest(dc.replace(t, line_bytes=64))
+
+        found = list(
+            check_digest_sensitivity(
+                trace, blind_to_line_bytes, report_path="t.py", report_line=1
+            )
+        )
+        assert [v.rule_id for v in found] == ["KEY002"]
+        assert "line_bytes" in found[0].message
 
 
 class _StubCache:

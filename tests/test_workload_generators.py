@@ -1,7 +1,6 @@
 """Access-pattern generator building blocks."""
 
-import random
-
+import numpy as np
 import pytest
 
 from repro.errors import TraceError
@@ -19,20 +18,20 @@ from repro.workloads.generators import (
 
 class TestRandomUpdates:
     def test_mix_of_loads_and_stores(self):
-        out = random_updates(400, 64, random.Random(1), write_fraction=0.5)
+        out = random_updates(400, 64, np.random.default_rng(1), write_fraction=0.5)
         kinds = {a.kind for a in out}
         assert AccessKind.LOAD in kinds and AccessKind.STORE in kinds
 
     def test_prefetch_interleaving(self):
         out = random_updates(
-            200, 64, random.Random(1), prefetch_to_l2=True, prefetch_distance=8
+            200, 64, np.random.default_rng(1), prefetch_to_l2=True, prefetch_distance=8
         )
         swpf = [a for a in out if a.kind == AccessKind.SWPF_L2]
         assert len(swpf) == 200 - 8  # one per update except the tail
 
     def test_prefetch_targets_future_demand(self):
         out = random_updates(
-            100, 64, random.Random(1), prefetch_to_l2=True, prefetch_distance=4
+            100, 64, np.random.default_rng(1), prefetch_to_l2=True, prefetch_distance=4
         )
         demands = [a.addr for a in out if a.kind != AccessKind.SWPF_L2]
         swpf = [a.addr for a in out if a.kind == AccessKind.SWPF_L2]
@@ -40,12 +39,12 @@ class TestRandomUpdates:
         assert set(swpf) <= set(demands)
 
     def test_addresses_line_aligned(self):
-        out = random_updates(100, 64, random.Random(1))
+        out = random_updates(100, 64, np.random.default_rng(1))
         assert all(a.addr % 64 == 0 for a in out)
 
     def test_rejects_zero_count(self):
         with pytest.raises(TraceError):
-            random_updates(0, 64, random.Random(1))
+            random_updates(0, 64, np.random.default_rng(1))
 
 
 class TestUnitStreams:
@@ -69,31 +68,31 @@ class TestUnitStreams:
 
 class TestGatherAccesses:
     def test_zero_locality_spreads_wide(self):
-        out = gather_accesses(500, 64, random.Random(1), locality=0.0)
+        out = gather_accesses(500, 64, np.random.default_rng(1), locality=0.0)
         lines = {a.addr // 64 for a in out}
         assert len(lines) > 400  # nearly all distinct
 
     def test_high_locality_clusters(self):
-        spread_hi = gather_accesses(300, 64, random.Random(1), locality=0.95)
-        spread_lo = gather_accesses(300, 64, random.Random(1), locality=0.0)
+        spread_hi = gather_accesses(300, 64, np.random.default_rng(1), locality=0.95)
+        spread_lo = gather_accesses(300, 64, np.random.default_rng(1), locality=0.0)
         unique_hi = len({a.addr // 64 for a in spread_hi})
         unique_lo = len({a.addr // 64 for a in spread_lo})
         assert unique_hi < unique_lo
 
     def test_rejects_bad_locality(self):
         with pytest.raises(TraceError):
-            gather_accesses(10, 64, random.Random(1), locality=1.5)
+            gather_accesses(10, 64, np.random.default_rng(1), locality=1.5)
 
 
 class TestShortBursts:
     def test_burst_structure(self):
-        out = short_bursts(96, 64, random.Random(1), burst_elements=48)
+        out = short_bursts(96, 64, np.random.default_rng(1), burst_elements=48)
         demands = [a for a in out if a.kind == AccessKind.LOAD]
         assert len(demands) == 96
 
     def test_sw_prefetch_precedes_bursts(self):
         out = short_bursts(
-            96, 64, random.Random(1), burst_elements=48, sw_prefetch=True
+            96, 64, np.random.default_rng(1), burst_elements=48, sw_prefetch=True
         )
         assert out[0].kind == AccessKind.SWPF_L1
         swpf = sum(1 for a in out if a.kind == AccessKind.SWPF_L1)
@@ -101,24 +100,24 @@ class TestShortBursts:
 
     def test_rejects_zero_burst(self):
         with pytest.raises(TraceError):
-            short_bursts(10, 64, random.Random(1), burst_elements=0)
+            short_bursts(10, 64, np.random.default_rng(1), burst_elements=0)
 
 
 class TestCachedCompute:
     def test_mostly_hot_footprint(self):
         out = cached_compute(
-            500, 64, random.Random(1), footprint_bytes=16 * 1024, miss_fraction=0.05
+            500, 64, np.random.default_rng(1), footprint_bytes=16 * 1024, miss_fraction=0.05
         )
         hot = sum(1 for a in out if a.addr < REGION_STRIDE // 2)
         assert hot > 400
 
     def test_miss_fraction_zero_stays_hot(self):
-        out = cached_compute(200, 64, random.Random(1), miss_fraction=0.0)
+        out = cached_compute(200, 64, np.random.default_rng(1), miss_fraction=0.0)
         assert all(a.addr < REGION_STRIDE // 2 for a in out)
 
     def test_rejects_bad_fraction(self):
         with pytest.raises(TraceError):
-            cached_compute(10, 64, random.Random(1), miss_fraction=2.0)
+            cached_compute(10, 64, np.random.default_rng(1), miss_fraction=2.0)
 
 
 class TestRegions:

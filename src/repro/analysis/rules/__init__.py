@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from .cachekey import CacheKeyRule
 from .determinism import DeterminismRule
+from .resilience_rule import ResilienceHygieneRule
 from .slots_rule import SlotsHygieneRule
 from .specs import SpecConsistencyRule
 from .units_rule import UnitSafetyRule
@@ -16,6 +17,7 @@ from .units_rule import UnitSafetyRule
 __all__ = [
     "CacheKeyRule",
     "DeterminismRule",
+    "ResilienceHygieneRule",
     "SlotsHygieneRule",
     "SpecConsistencyRule",
     "UnitSafetyRule",

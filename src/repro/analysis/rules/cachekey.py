@@ -47,7 +47,7 @@ def _source_location(obj: Any) -> Tuple[str, int]:
         path = inspect.getsourcefile(obj) or "<unknown>"
         line = inspect.getsourcelines(obj)[1]
         return path, line
-    except (OSError, TypeError):
+    except (OSError, TypeError):  # repro: noqa[RES001] - source lookup is best-effort
         return "<unknown>", 1
 
 
@@ -106,7 +106,7 @@ def _field_mutants(obj: Any) -> Iterator[Tuple[str, List[Any]]]:
         for sub in sub_values:
             try:
                 wrapped.append(dataclasses.replace(obj, **{field_name: sub}))
-            except Exception:
+            except Exception:  # repro: noqa[RES001] - probe mutants may not validate
                 continue
         return wrapped
 
@@ -236,7 +236,7 @@ def check_digest_sensitivity(
             try:
                 mutated_digest = digest(mutant)
                 break
-            except Exception:
+            except Exception:  # repro: noqa[RES001] - try the next mutant
                 continue
         if mutated_digest is None:
             yield Violation(

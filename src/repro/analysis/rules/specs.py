@@ -45,7 +45,7 @@ def _factory_location(name: str) -> Tuple[str, int]:
         path = inspect.getsourcefile(factory) or "<registry>"
         line = inspect.getsourcelines(factory)[1]
         return path, line
-    except Exception:
+    except Exception:  # repro: noqa[RES001] - source lookup is best-effort
         return "<registry>", 1
 
 

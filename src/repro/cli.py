@@ -32,11 +32,22 @@ from .xmem.runner import XMemConfig, characterize_machine
 
 
 def _apply_perf_flags(args: argparse.Namespace) -> None:
-    """Honor ``--no-cache`` before any simulation runs."""
+    """Honor ``--no-cache``/``--retries``/``--timeout-s`` before any runs.
+
+    Retry/timeout settings are mirrored into ``REPRO_RETRIES``/
+    ``REPRO_TIMEOUT_S`` so every :func:`repro.perf.parallel.fan_out`
+    in the command — and its worker processes — picks them up.
+    """
+    import os
+
     if getattr(args, "no_cache", False):
         from .perf.cache import configure_cache
 
         configure_cache(enabled=False)
+    if getattr(args, "retries", None) is not None:
+        os.environ["REPRO_RETRIES"] = str(args.retries)
+    if getattr(args, "timeout_s", None) is not None:
+        os.environ["REPRO_TIMEOUT_S"] = str(args.timeout_s)
 
 
 def _print_cache_summary() -> None:
@@ -62,8 +73,29 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     _apply_perf_flags(args)
     machine = get_machine(args.machine)
     config = XMemConfig(levels=args.levels)
+    checkpoint = None
+    if args.checkpoint:
+        from .resilience.checkpoint import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(
+            args.checkpoint, label=f"xmem:{machine.name}"
+        )
+        if args.resume:
+            if checkpoint.exists:
+                print(
+                    f"resuming from checkpoint {args.checkpoint} "
+                    f"({len(checkpoint.load())} level(s) already done)"
+                )
+        elif checkpoint.exists:
+            checkpoint.clear()
+            print(f"cleared stale checkpoint {args.checkpoint} (no --resume)")
+    elif args.resume:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
     start = time.perf_counter()
-    profile = characterize_machine(machine, config, jobs=args.jobs)
+    profile = characterize_machine(
+        machine, config, jobs=args.jobs, checkpoint=checkpoint
+    )
     wall = time.perf_counter() - start
     print(
         f"latency profile for {machine.name} "
@@ -98,12 +130,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .io import analyze_measurements, from_csv, from_perf_output
+    from .io import (
+        analyze_measurements,
+        from_csv,
+        from_csv_degraded,
+        from_perf_output,
+    )
 
     machine = get_machine(args.machine)
     text = Path(args.file).read_text()
     if args.format == "csv":
-        measurements = from_csv(text)
+        if args.lenient:
+            from .core.report import render_data_quality
+            from .core.uncertainty import quality_widened_errors
+
+            measurements, issues = from_csv_degraded(text)
+            if issues:
+                print(render_data_quality(issues))
+                bw_err, lat_err = quality_widened_errors(issues)
+                print(
+                    f"error budget widened to ±{bw_err:.0%} bandwidth / "
+                    f"±{lat_err:.0%} latency"
+                )
+                print()
+        else:
+            measurements = from_csv(text)
     else:
         if args.seconds is None:
             print("error: --seconds is required for perf input", file=sys.stderr)
@@ -336,6 +387,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the content-addressed simulation result cache",
     )
+    perf_flags.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-item retries for failing simulations "
+        "(default: REPRO_RETRIES or 0; crashed/hung workers always get "
+        "a small retry budget)",
+    )
+    perf_flags.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-task timeout in seconds with --jobs > 1 "
+        "(default: REPRO_TIMEOUT_S or none; 0 disables)",
+    )
 
     sub.add_parser("machines", help="list modeled platforms").set_defaults(
         func=_cmd_machines
@@ -347,6 +413,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--machine", required=True, choices=machine_names())
     p_char.add_argument("--levels", type=int, default=12, help="load levels")
     p_char.add_argument("--out", help="save profile JSON here")
+    p_char.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="record each completed load level to this JSONL checkpoint",
+    )
+    p_char.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed levels from --checkpoint instead of "
+        "starting over",
+    )
     p_char.set_defaults(func=_cmd_characterize)
 
     p_an = sub.add_parser("analyze", help="analyze one routine measurement")
@@ -373,6 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seconds", type=float, help="elapsed time (perf format only)"
     )
     p_ing.add_argument("--routine", default="kernel")
+    p_ing.add_argument(
+        "--lenient",
+        action="store_true",
+        help="degraded mode (CSV only): skip bad rows, report them as "
+        "data-quality issues, and widen the error budget",
+    )
     p_ing.set_defaults(func=_cmd_ingest)
 
     p_rep = sub.add_parser(

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..resilience.quality import DataQualityIssue, issue_summary
+
 
 @dataclass(frozen=True)
 class CaseStudyRow:
@@ -67,6 +69,19 @@ class ComparisonRow:
         if self.paper_n_avg == 0:
             return 0.0
         return abs(self.measured_n_avg - self.paper_n_avg) / self.paper_n_avg
+
+
+def render_data_quality(issues: Sequence[DataQualityIssue]) -> str:
+    """Render a degraded-mode ingestion report.
+
+    A census line (``3 issue(s): 2 skipped-row, 1 nan-bandwidth``)
+    followed by one indented line per issue, so a report built from
+    imperfect data carries its caveats with it.  Empty input renders
+    the all-clear line.
+    """
+    lines = [f"data quality: {issue_summary(issues)}"]
+    lines.extend(f"  - {issue.render()}" for issue in issues)
+    return "\n".join(lines)
 
 
 def render_comparison_table(title: str, rows: Sequence[ComparisonRow]) -> str:

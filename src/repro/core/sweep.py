@@ -18,9 +18,12 @@ single-point analysis exists:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..resilience.checkpoint import SweepCheckpoint
 from ..machines.spec import MachineSpec
 from ..memory.profile import LatencyProfile
 from .classify import AccessPattern, Classification
@@ -44,8 +47,16 @@ def operating_curve(
     profile: Optional[LatencyProfile] = None,
     points: int = 33,
     max_utilization: Optional[float] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> List[OperatingPoint]:
-    """Sample (utilization → bandwidth, latency, n_avg)."""
+    """Sample (utilization → bandwidth, latency, n_avg).
+
+    With a ``checkpoint``
+    (:class:`repro.resilience.checkpoint.SweepCheckpoint`) each computed
+    point is durably recorded, keyed by a digest of the machine,
+    profile, and utilization, and replayed on resume — byte-identical
+    to an uninterrupted run.
+    """
     if points < 2:
         raise ConfigurationError("need at least two points")
     calc = MlpCalculator(machine, profile)
@@ -56,19 +67,39 @@ def operating_curve(
     )
     if not 0 < top <= 1.0:
         raise ConfigurationError("max_utilization must be in (0,1]")
-    out = []
-    for i in range(points):
-        u = top * i / (points - 1)
+    utilizations = [top * i / (points - 1) for i in range(points)]
+
+    def sample(u: float) -> OperatingPoint:
         result = calc.calculate(u * machine.memory.peak_bw_bytes)
-        out.append(
-            OperatingPoint(
-                utilization=u,
-                bandwidth_gbs=result.bandwidth_gbs,
-                latency_ns=result.latency_ns,
-                n_avg=result.n_avg,
-            )
+        return OperatingPoint(
+            utilization=u,
+            bandwidth_gbs=result.bandwidth_gbs,
+            latency_ns=result.latency_ns,
+            n_avg=result.n_avg,
         )
-    return out
+
+    if checkpoint is None:
+        return [sample(u) for u in utilizations]
+
+    from ..perf.cache import stable_digest
+    from ..resilience.checkpoint import dataclass_codec, run_checkpointed
+
+    encode, decode = dataclass_codec(OperatingPoint)
+    return run_checkpointed(
+        sample,
+        utilizations,
+        checkpoint=checkpoint,
+        key_fn=lambda u: stable_digest(
+            {
+                "harness": "operating_curve",
+                "machine": machine,
+                "profile": profile,
+                "utilization": u,
+            }
+        ),
+        encode=encode,
+        decode=decode,
+    )
 
 
 def utilization_where_mshrs_bind(

@@ -27,13 +27,22 @@ measurement error flip the recipe's full-vs-headroom verdict?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..machines.spec import MachineSpec
 from ..memory.profile import LatencyProfile
+from ..resilience.quality import DataQualityIssue
 from .mlp import MlpCalculator, MlpResult
 from .recipe import FULL_RATIO, NEAR_FULL_RATIO
+
+#: Extra relative bandwidth error charged per surviving data-quality
+#: issue in degraded-mode ingestion (on top of the base counter error).
+QUALITY_ERROR_PER_ISSUE = 0.01
+
+#: Ceiling on the quality widening: beyond this the data is unusable
+#: and the verdict column will say so anyway.
+QUALITY_ERROR_CAP = 0.25
 
 
 @dataclass(frozen=True)
@@ -113,6 +122,28 @@ def mlp_uncertainty(
         elasticity=elasticity,
         n_avg_rel_error=n_error,
     )
+
+
+def quality_widened_errors(
+    issues: Sequence[DataQualityIssue],
+    *,
+    bandwidth_rel_error: float = 0.03,
+    latency_rel_error: float = 0.05,
+) -> Tuple[float, float]:
+    """Widen the error budget to reflect degraded-mode ingestion.
+
+    Every :class:`~repro.resilience.quality.DataQualityIssue` that
+    survived ingestion (skipped rows, dropped samples, NaN counters)
+    adds :data:`QUALITY_ERROR_PER_ISSUE` to the *bandwidth* relative
+    error — the side the degraded counters actually feed — capped at
+    :data:`QUALITY_ERROR_CAP`; the profile error is untouched.  Returns
+    ``(bandwidth_rel_error, latency_rel_error)`` ready for
+    :func:`mlp_uncertainty`: honest bars instead of silent optimism.
+    """
+    if bandwidth_rel_error < 0 or latency_rel_error < 0:
+        raise ConfigurationError("relative errors must be >= 0")
+    widening = min(QUALITY_ERROR_CAP, QUALITY_ERROR_PER_ISSUE * len(issues))
+    return bandwidth_rel_error + widening, latency_rel_error
 
 
 def decision_is_robust(

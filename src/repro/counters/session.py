@@ -24,11 +24,13 @@ demonstrate why the paper rejects that counter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import CounterUnavailableError
 from ..machines.spec import MachineSpec
+from ..resilience.quality import DataQualityIssue
 from ..sim.stats import SimStats
 from ..units import ns, ns_to_cycles
 from .events import CounterEvent, NativeEvent, events_supported
@@ -74,6 +76,57 @@ class CounterSession:
         if native is None:
             raise CounterUnavailableError(self.vendor, event.value)
         return CounterReading(event=event, native=native, value=self._value(event))
+
+    def read_with_quality(
+        self, event: CounterEvent
+    ) -> Tuple[Optional[CounterReading], List[DataQualityIssue]]:
+        """Degraded-mode read: survive bad samples, report what happened.
+
+        Real PMU sessions lose samples (multiplexing gaps) and return
+        NaN (broken counters — the paper cites outright-broken FLOP
+        counters); the ``counter_drop``/``counter_nan`` fault kinds
+        reproduce both.  A dropped sample returns ``(None, [issue])``; a
+        NaN sample returns the reading with a ``nan-counter`` issue so
+        callers can substitute and widen.  An unsupported event is
+        *also* degraded to ``(None, [missing-counter issue])`` — the
+        strict :meth:`read` raises instead.
+        """
+        issues: List[DataQualityIssue] = []
+        native = self._supported.get(event)
+        if native is None:
+            issues.append(
+                DataQualityIssue(
+                    kind="missing-counter",
+                    location=event.value,
+                    detail=f"vendor {self.vendor!r} does not expose this event",
+                )
+            )
+            return None, issues
+        from ..resilience.faults import get_injector
+
+        injector = get_injector()
+        key = f"{self.vendor}:{event.value}"
+        if injector.active and injector.drops_sample(key):
+            issues.append(
+                DataQualityIssue(
+                    kind="dropped-sample",
+                    location=event.value,
+                    detail="sample dropped (injected counter_drop fault)",
+                )
+            )
+            return None, issues
+        value = self._value(event)
+        if injector.active and injector.nans_sample(key):
+            value = math.nan
+        if math.isnan(value):
+            issues.append(
+                DataQualityIssue(
+                    kind="nan-counter",
+                    location=event.value,
+                    detail="counter read back as NaN",
+                )
+            )
+        return CounterReading(event=event, native=native, value=value), issues
 
     def _value(self, event: CounterEvent) -> float:
         stats = self.stats
@@ -131,6 +184,40 @@ class CounterSession:
         else:
             writes = 0.0
         return (reads + writes) / seconds
+
+    def bandwidth_with_quality(
+        self, *, include_writeback_heuristic: bool = True
+    ) -> Tuple[float, List[DataQualityIssue]]:
+        """Degraded-mode :meth:`bandwidth_bytes_per_s`.
+
+        Each contributing counter is read through
+        :meth:`read_with_quality`; a dropped or NaN sample contributes
+        zero traffic (an *under*-estimate, like a real multiplexing
+        gap) and one :class:`DataQualityIssue`.  Feed the issues to
+        :func:`repro.core.uncertainty.quality_widened_errors` so the
+        resulting n_avg error bar reflects the degraded input.
+        """
+        if self.stats.elapsed_ns <= 0:
+            return 0.0, []
+        line = self.machine.line_bytes
+        seconds = ns(self.stats.elapsed_ns)
+        issues: List[DataQualityIssue] = []
+
+        def lines_of(event: CounterEvent) -> float:
+            reading, event_issues = self.read_with_quality(event)
+            issues.extend(event_issues)
+            if reading is None or math.isnan(reading.value):
+                return 0.0
+            return reading.value
+
+        reads = lines_of(CounterEvent.MEM_READ_LINES) * line
+        if self.supports(CounterEvent.MEM_WRITE_LINES):
+            writes = lines_of(CounterEvent.MEM_WRITE_LINES) * line
+        elif include_writeback_heuristic:
+            writes = self.stats.memory.demand_write_bytes
+        else:
+            writes = 0.0
+        return (reads + writes) / seconds, issues
 
     # -- the misleading load-latency counter ----------------------------------------
 

@@ -25,8 +25,12 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.classify import classify_from_prefetch_fraction
 from ..machines.registry import paper_machines
 from ..machines.spec import MachineSpec
-from ..perf.cache import cached_run_trace
-from ..perf.parallel import fan_out
+from ..perf.cache import cached_run_trace, stable_digest
+from ..resilience.checkpoint import (
+    SweepCheckpoint,
+    dataclass_codec,
+    run_checkpointed,
+)
 from ..sim.hierarchy import SimConfig
 from ..sim.stats import SimStats
 from ..workloads import ALL_WORKLOADS
@@ -110,6 +114,20 @@ def _validate_cell(
     )
 
 
+def _cell_key(args: Tuple[Workload, MachineSpec, int, int]) -> str:
+    """Stable checkpoint key for one (workload, machine) grid cell."""
+    workload, machine, accesses_per_thread, sim_cores = args
+    return stable_digest(
+        {
+            "harness": "cross_validation",
+            "workload": workload.name,
+            "machine": machine.name,
+            "accesses_per_thread": accesses_per_thread,
+            "sim_cores": sim_cores,
+        }
+    )
+
+
 def cross_validate(
     *,
     machines: Optional[Sequence[MachineSpec]] = None,
@@ -117,12 +135,17 @@ def cross_validate(
     accesses_per_thread: int = 2200,
     sim_cores: int = 2,
     jobs: Optional[int] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    retries: Optional[int] = None,
+    timeout_s: Optional[float] = None,
 ) -> List[CrossValidationRow]:
     """Run every workload's base trace on every machine and compare.
 
     The (workload, machine) grid cells are independent simulations;
     ``jobs > 1`` distributes them over worker processes while keeping
-    the row order identical to the serial nested loop.
+    the row order identical to the serial nested loop.  With a
+    ``checkpoint``, completed cells are durably recorded and replayed
+    on resume (byte-identical to an uninterrupted run).
     """
     cells = [
         (workload, machine, accesses_per_thread, sim_cores)
@@ -130,7 +153,18 @@ def cross_validate(
         for machine in (machines or paper_machines())
         if machine.name in workload.machines()
     ]
-    return fan_out(_validate_cell, cells, jobs=jobs)
+    encode, decode = dataclass_codec(CrossValidationRow)
+    return run_checkpointed(
+        _validate_cell,
+        cells,
+        checkpoint=checkpoint,
+        key_fn=_cell_key,
+        encode=encode,
+        decode=decode,
+        jobs=jobs,
+        retries=retries,
+        timeout_s=timeout_s,
+    )
 
 
 def render_cross_validation(rows: Sequence[CrossValidationRow]) -> str:

@@ -1,9 +1,16 @@
 """I/O: measurement parsers and on-disk trace files."""
 
+from .atomic import (
+    append_jsonl,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+)
 from .measurements import (
     RoutineMeasurement,
     analyze_measurements,
     from_csv,
+    from_csv_degraded,
     from_perf_output,
 )
 from .tracefile import (
@@ -18,7 +25,12 @@ __all__ = [
     "TRACE_FILE_FORMAT",
     "TRACE_FILE_VERSION",
     "analyze_measurements",
+    "append_jsonl",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
     "from_csv",
+    "from_csv_degraded",
     "from_perf_output",
     "load_trace",
     "save_trace",

@@ -6,7 +6,13 @@ without touching the simulator:
 
 * :func:`from_csv` — per-routine rows
   (``routine,bandwidth_gbs,prefetch_fraction``) as exported from any
-  profiler;
+  profiler; strict — the first bad row aborts with its 1-based line
+  number and the offending cell;
+* :func:`from_csv_degraded` — the same rows in *degraded mode*: bad
+  rows are skipped and reported as structured
+  :class:`~repro.resilience.quality.DataQualityIssue`\\ s, which
+  :func:`repro.core.uncertainty.quality_widened_errors` converts into a
+  wider error bar (report-and-widen, never die on the first bad row);
 * :func:`from_perf_output` — ``perf stat -x,``-style (CSV) or aligned
   plain output: raw event counts are matched against the vendor's
   native event names (:mod:`repro.counters.events`), converted to bytes
@@ -23,9 +29,10 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.analyzer import AnalysisReport, RoutineAnalyzer
 from ..counters.events import CounterEvent, VENDOR_EVENTS
@@ -33,6 +40,7 @@ from ..counters.vendor import vendor_for_machine
 from ..errors import ConfigurationError
 from ..machines.spec import MachineSpec
 from ..memory.profile import LatencyProfile
+from ..resilience.quality import DataQualityIssue
 from ..units import gb_per_s
 
 
@@ -51,34 +59,136 @@ class RoutineMeasurement:
             raise ConfigurationError("prefetch fraction must be in [0,1]")
 
 
-def from_csv(text: str) -> List[RoutineMeasurement]:
-    """Parse ``routine,bandwidth_gbs,prefetch_fraction`` rows.
+def _parse_csv_row(
+    row: List[str], line_num: int
+) -> RoutineMeasurement:
+    """One strict row parse; errors carry line number + offending cell."""
+    if len(row) < 3:
+        raise ConfigurationError(
+            f"line {line_num}: need 3 columns "
+            f"(routine,bandwidth_gbs,prefetch_fraction), got {row!r}"
+        )
+    cells = {"bandwidth_gbs": row[1], "prefetch_fraction": row[2]}
+    values: Dict[str, float] = {}
+    for column, cell in cells.items():
+        try:
+            values[column] = float(cell)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"line {line_num}: column {column!r} needs a number, "
+                f"got {cell.strip()!r}"
+            ) from exc
+        if math.isnan(values[column]):
+            raise ConfigurationError(
+                f"line {line_num}: column {column!r} is NaN"
+            )
+    try:
+        return RoutineMeasurement(
+            routine=row[0].strip(),
+            bandwidth_bytes=gb_per_s(values["bandwidth_gbs"]),
+            prefetch_fraction=values["prefetch_fraction"],
+        )
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"line {line_num}: {exc}") from exc
 
-    A header row is detected (non-numeric second column) and skipped.
-    Blank lines and ``#`` comments are ignored.
+
+def from_csv(text: str) -> List[RoutineMeasurement]:
+    """Parse ``routine,bandwidth_gbs,prefetch_fraction`` rows (strict).
+
+    A leading header row is detected (non-numeric second column before
+    any data row) and skipped.  Blank lines and ``#`` comments are
+    ignored.  Any other malformed row aborts with a
+    :class:`~repro.errors.ConfigurationError` naming the 1-based line
+    number and the offending cell; use :func:`from_csv_degraded` to
+    survive bad rows instead.
     """
     measurements: List[RoutineMeasurement] = []
     reader = csv.reader(io.StringIO(text))
     for row in reader:
         if not row or row[0].lstrip().startswith("#"):
             continue
-        if len(row) < 3:
-            raise ConfigurationError(f"need 3 columns, got {row!r}")
-        try:
-            bw_gbs = float(row[1])
-            pf = float(row[2])
-        except ValueError:
+        if not measurements and len(row) >= 3 and not _is_number(row[1]):
             continue  # header row
-        measurements.append(
-            RoutineMeasurement(
-                routine=row[0].strip(),
-                bandwidth_bytes=gb_per_s(bw_gbs),
-                prefetch_fraction=pf,
-            )
-        )
+        measurements.append(_parse_csv_row(row, reader.line_num))
     if not measurements:
         raise ConfigurationError("no measurement rows found")
     return measurements
+
+
+def _is_number(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def from_csv_degraded(
+    text: str,
+) -> Tuple[List[RoutineMeasurement], List[DataQualityIssue]]:
+    """Degraded-mode CSV ingestion: collect issues instead of dying.
+
+    Every malformed row (too few columns, non-numeric cell, NaN,
+    out-of-range value) becomes a
+    :class:`~repro.resilience.quality.DataQualityIssue` and the row is
+    skipped; parsing always reaches the end of the input.  The
+    ``counter_drop``/``counter_nan`` fault kinds
+    (:mod:`repro.resilience.faults`) inject exactly these degradations,
+    keyed by line number, so the path stays exercised.
+
+    Raises only when *no* row survives — an all-bad input is a
+    configuration problem, not a data-quality one.
+    """
+    from ..resilience.faults import get_injector
+
+    injector = get_injector()
+    measurements: List[RoutineMeasurement] = []
+    issues: List[DataQualityIssue] = []
+    reader = csv.reader(io.StringIO(text))
+    saw_data = False
+    for row in reader:
+        if not row or row[0].lstrip().startswith("#"):
+            continue
+        if not saw_data and len(row) >= 3 and not _is_number(row[1]):
+            continue  # header row
+        saw_data = True
+        line_num = reader.line_num
+        location = f"line {line_num}"
+        if injector.active and injector.drops_sample(f"csv:{line_num}"):
+            issues.append(
+                DataQualityIssue(
+                    kind="dropped-sample",
+                    location=location,
+                    detail="row dropped by injected counter_drop fault",
+                )
+            )
+            continue
+        if injector.active and injector.nans_sample(f"csv:{line_num}"):
+            issues.append(
+                DataQualityIssue(
+                    kind="nan-bandwidth",
+                    location=location,
+                    detail="bandwidth read back as NaN (injected counter_nan)",
+                )
+            )
+            continue
+        try:
+            measurements.append(_parse_csv_row(row, line_num))
+        except ConfigurationError as exc:
+            kind = "skipped-row" if len(row) < 3 else "bad-cell"
+            detail = str(exc)
+            prefix = f"{location}: "
+            if detail.startswith(prefix):
+                detail = detail[len(prefix) :]
+            issues.append(
+                DataQualityIssue(kind=kind, location=location, detail=detail)
+            )
+    if not measurements:
+        raise ConfigurationError(
+            "no measurement rows survived degraded-mode parsing "
+            f"({len(issues)} issue(s))"
+        )
+    return measurements, issues
 
 
 _PLAIN_LINE = re.compile(r"^\s*([\d,.]+)\s+(\S+)")

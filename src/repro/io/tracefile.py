@@ -71,7 +71,16 @@ def save_trace(
     ``compress`` trades the mmap fast path on load for a smaller file
     (loads still work — through the ``np.load`` fallback).  Either
     representation can be saved; the file always stores columnar form.
+
+    The write is atomic (temp file + rename via
+    :func:`repro.io.atomic.atomic_writer`): a crash mid-save leaves the
+    previous trace file — or nothing — never a torn archive.  The
+    ``trace_corrupt``/``trace_truncate`` fault kinds damage the file
+    *after* a successful save so :func:`load_trace`'s digest
+    verification path stays exercised.
     """
+    from .atomic import atomic_writer
+
     col = as_columnar(trace)
     path = Path(path)
     meta = {
@@ -95,8 +104,16 @@ def save_trace(
     saver = np.savez_compressed if compress else np.savez
     # Hand savez an open handle so the exact path is honored (savez
     # appends ".npz" to bare string paths).
-    with open(path, "wb") as handle:
+    with atomic_writer(path) as handle:
         saver(handle, **members)
+
+    from ..resilience.faults import get_injector
+
+    injector = get_injector()
+    if injector.active:
+        key = str(meta["sha256"])
+        injector.maybe_corrupt_file("trace_corrupt", key, path)
+        injector.maybe_corrupt_file("trace_truncate", key, path)
     return meta
 
 

@@ -24,9 +24,14 @@ Digest stability rules
 Storage
 -------
 One JSON document per digest under ``<cache_dir>/<digest[:2]>/<digest>.json``
-(sharded to keep directories small), written atomically via a temp file
-and ``os.replace``.  A corrupted or truncated entry is treated as a
-miss (with a :class:`UserWarning`), re-simulated, and overwritten.
+(sharded to keep directories small), written atomically via
+:func:`repro.io.atomic.atomic_write_text`.  A corrupted or truncated
+entry is treated as a miss (with a :class:`UserWarning`), **quarantined**
+by renaming it to ``<digest>.corrupt`` — so the bad bytes survive for
+forensics and can never be re-read as a hit — then re-simulated and
+re-stored.  The ``cache_corrupt``/``cache_truncate`` fault kinds
+(:mod:`repro.resilience.faults`) damage entries right after a store to
+keep this recovery path exercised.
 
 Control knobs
 -------------
@@ -43,7 +48,6 @@ import enum
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -214,7 +218,12 @@ class SimCache:
         return self.cache_dir / digest[:2] / f"{digest}.json"
 
     def load(self, digest: str) -> Optional[SimStats]:
-        """Fetch a cached result; corrupt/truncated entries are misses."""
+        """Fetch a cached result; corrupt/truncated entries are misses.
+
+        A decode failure quarantines the entry: the file is renamed to
+        ``<digest>.corrupt`` so the damaged bytes are preserved for
+        inspection but can never satisfy a future lookup.
+        """
         if not self.enabled:
             return None
         path = self.path_for(digest)
@@ -229,13 +238,25 @@ class SimCache:
         except (OSError, ValueError, KeyError, TypeError) as exc:
             self.counters.misses += 1
             self.counters.errors += 1
+            quarantined = self._quarantine(path)
             warnings.warn(
-                f"discarding corrupt sim-cache entry {path.name}: {exc}",
+                f"discarding corrupt sim-cache entry {path.name}: {exc}"
+                + (f" (quarantined as {quarantined.name})" if quarantined else ""),
                 stacklevel=2,
             )
             return None
         self.counters.hits += 1
         return stats
+
+    @staticmethod
+    def _quarantine(path: Path) -> Optional[Path]:
+        """Move a corrupt entry aside as ``<digest>.corrupt``; best-effort."""
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # repro: noqa[RES001] - quarantine is best-effort
+            return None
+        return target
 
     def store(self, digest: str, stats: SimStats) -> None:
         """Persist one result atomically (temp file + rename)."""
@@ -244,19 +265,24 @@ class SimCache:
         path = self.path_for(digest)
         doc = {"schema": SCHEMA_VERSION, "digest": digest, "stats": stats.to_dict()}
         try:
+            from ..io.atomic import atomic_write_text
+
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=path.stem, suffix=".tmp"
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(doc, handle)
-            os.replace(tmp, path)
+            atomic_write_text(path, json.dumps(doc))
         except OSError as exc:
             # A read-only or full disk must never fail the simulation.
             self.counters.errors += 1
             warnings.warn(f"could not write sim-cache entry: {exc}", stacklevel=2)
             return
         self.counters.stores += 1
+        from ..resilience.faults import get_injector
+
+        injector = get_injector()
+        if injector.active:
+            # Damage the freshly written entry so the quarantine/re-simulate
+            # recovery path stays exercised under the CI fault leg.
+            injector.maybe_corrupt_file("cache_corrupt", digest, path)
+            injector.maybe_corrupt_file("cache_truncate", digest, path)
 
 
 # -- process-global handle -------------------------------------------------------

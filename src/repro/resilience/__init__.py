@@ -1,0 +1,56 @@
+"""Fault-tolerant execution layer: inject, retry, checkpoint, degrade.
+
+The pipeline's scaling substrate (worker pools, on-disk caches, trace
+files, external counter data) fails in four characteristic ways; this
+package gives each one a deterministic answer:
+
+* :mod:`repro.resilience.faults` — seeded fault *injection*
+  (``REPRO_FAULTS``): kill workers, hang tasks, corrupt cache/trace
+  files, drop or NaN counter samples — every failure path exercisable
+  on demand, byte-for-byte reproducibly;
+* :mod:`repro.resilience.retry` — seeded exponential backoff with
+  deterministic jitter, consumed by
+  :func:`repro.perf.parallel.fan_out`'s per-item retry machinery;
+* :mod:`repro.resilience.quality` — :class:`DataQualityIssue`, the unit
+  of degraded-mode ingestion accounting;
+* :mod:`repro.resilience.checkpoint` — durable JSONL sweep checkpoints
+  keyed by content digests, behind the CLI's ``--resume``.
+
+See ``docs/ROBUSTNESS.md`` for the operational guide.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    dataclass_codec,
+    run_checkpointed,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultRule,
+    configure_faults,
+    get_injector,
+    parse_fault_spec,
+)
+from .quality import DataQualityIssue, issue_summary
+from .retry import RetryPolicy, backoff_delay
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "DataQualityIssue",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "backoff_delay",
+    "configure_faults",
+    "dataclass_codec",
+    "get_injector",
+    "issue_summary",
+    "parse_fault_spec",
+    "run_checkpointed",
+]

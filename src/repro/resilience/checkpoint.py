@@ -1,0 +1,247 @@
+"""Checkpoint/resume for long multi-point sweeps.
+
+A characterize/ablation/cross-validation sweep is a list of independent
+(item → result) evaluations, each potentially minutes of simulation.  A
+:class:`SweepCheckpoint` makes the sweep restartable: every completed
+result is durably appended to a JSONL file, keyed by a stable content
+digest of its inputs (:func:`repro.perf.cache.stable_digest`), and a
+re-run — ``--resume`` on the CLI — replays recorded results instead of
+recomputing them.
+
+File format (one JSON document per line)::
+
+    {"format": "repro-checkpoint", "version": 1, "label": "<harness>"}
+    {"key": "<stable digest>", "value": {...}}
+    {"key": "<stable digest>", "value": {...}}
+
+Appends go through :func:`repro.io.atomic.append_jsonl` (single-write
+``O_APPEND`` + fsync), so a crash — including an injected
+``worker_kill`` storm that exhausts retries — can lose at most a
+trailing partial line, which :meth:`SweepCheckpoint.load` tolerates.
+Any *other* malformed line means real corruption and raises
+:class:`~repro.errors.CheckpointError`, as does a label or version
+mismatch (a checkpoint from a different harness must never be replayed).
+
+Determinism: with a checkpoint attached, every result — freshly
+computed or replayed — round-trips through the same JSON codec, so an
+interrupted-then-resumed sweep returns **byte-identical** results to an
+uninterrupted one by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
+
+from ..errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "SweepCheckpoint",
+    "dataclass_codec",
+    "run_checkpointed",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Format tag in the checkpoint header line.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+
+#: Bump on any incompatible layout change.
+CHECKPOINT_VERSION = 1
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed sweep results."""
+
+    __slots__ = ("path", "label")
+
+    def __init__(self, path: Union[str, Path], *, label: str = "") -> None:
+        self.path = Path(path)
+        self.label = label
+
+    @property
+    def exists(self) -> bool:
+        """Does the checkpoint file exist on disk?"""
+        return self.path.exists()
+
+    def clear(self) -> None:
+        """Discard the checkpoint (start the sweep from scratch)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            return
+
+    def load(self) -> Dict[str, Any]:
+        """All recorded ``key -> value`` entries.
+
+        A missing file is an empty checkpoint.  A malformed *final* line
+        is the signature of a crash mid-append and is dropped (that
+        result is simply recomputed); a malformed line anywhere else, a
+        wrong header, or a label mismatch raises
+        :class:`~repro.errors.CheckpointError`.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        lines = text.splitlines()
+        if not lines:
+            return {}
+        entries: Dict[str, Any] = {}
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+                if index == 0:
+                    self._check_header(doc)
+                    continue
+                key = doc["key"]
+                value = doc["value"]
+            except (ValueError, KeyError, TypeError) as exc:
+                if index == len(lines) - 1 and index > 0:
+                    # Torn final append: the crash the format is designed
+                    # to survive.  The entry is recomputed on resume.
+                    break
+                raise CheckpointError(
+                    f"corrupt checkpoint {self.path} at line {index + 1}: {exc}"
+                ) from exc
+            entries[str(key)] = value
+        return entries
+
+    def record(self, key: str, value: Any) -> None:
+        """Durably append one completed result."""
+        # Imported here: pulling repro.io at module scope would cycle
+        # back through io.measurements -> counters -> resilience.
+        from ..io.atomic import append_jsonl
+
+        if not self.path.exists():
+            append_jsonl(
+                self.path,
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": CHECKPOINT_VERSION,
+                    "label": self.label,
+                },
+            )
+        append_jsonl(self.path, {"key": key, "value": value})
+
+    def _check_header(self, doc: Any) -> None:
+        if not isinstance(doc, dict) or doc.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{self.path} is not a repro checkpoint file"
+            )
+        if doc.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{self.path}: checkpoint version {doc.get('version')!r} "
+                f"(this build reads {CHECKPOINT_VERSION})"
+            )
+        if self.label and doc.get("label") != self.label:
+            raise CheckpointError(
+                f"{self.path} belongs to harness {doc.get('label')!r}, "
+                f"not {self.label!r} — refusing to replay foreign results"
+            )
+
+
+def dataclass_codec(
+    cls: Type[R],
+) -> Tuple[Callable[[R], Any], Callable[[Any], R]]:
+    """(encode, decode) pair for a flat dataclass of JSON scalars."""
+
+    def encode(value: R) -> Any:
+        return dataclasses.asdict(value)  # type: ignore[call-overload]
+
+    def decode(doc: Any) -> R:
+        return cls(**doc)
+
+    return encode, decode
+
+
+def run_checkpointed(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    checkpoint: Optional[SweepCheckpoint],
+    key_fn: Callable[[T], str],
+    encode: Callable[[R], Any],
+    decode: Callable[[Any], R],
+    jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    chunk: Optional[int] = None,
+) -> List[R]:
+    """Evaluate ``func`` over ``items`` with durable incremental progress.
+
+    Items whose key is already recorded are replayed from the
+    checkpoint; the rest run through
+    :func:`repro.perf.parallel.fan_out_outcomes` in chunks (default: one
+    worker-batch per chunk), recording each chunk's successes before the
+    next starts — so a run killed mid-sweep preserves every completed
+    chunk.  The first unrecovered failure is re-raised *after* its
+    chunk's successes are recorded.
+
+    With ``checkpoint=None`` this degrades to a plain ``fan_out`` (no
+    JSON round-trip, no recording).
+    """
+    from ..perf.parallel import fan_out, fan_out_outcomes, resolve_jobs
+
+    materialized = list(items)
+    if checkpoint is None:
+        return fan_out(
+            func, materialized, jobs=jobs, retries=retries, timeout_s=timeout_s
+        )
+
+    done = checkpoint.load()
+    keys = [key_fn(item) for item in materialized]
+    results: Dict[int, R] = {}
+    missing: List[Tuple[int, T]] = []
+    for index, (key, item) in enumerate(zip(keys, materialized)):
+        if key in done:
+            results[index] = decode(done[key])
+        else:
+            missing.append((index, item))
+
+    if missing:
+        chunk_size = chunk if chunk and chunk > 0 else max(1, resolve_jobs(jobs))
+        for start in range(0, len(missing), chunk_size):
+            batch = missing[start : start + chunk_size]
+            outcomes = fan_out_outcomes(
+                func,
+                [item for _, item in batch],
+                jobs=jobs,
+                retries=retries,
+                timeout_s=timeout_s,
+            )
+            failure = None
+            for (index, _), outcome in zip(batch, outcomes):
+                if outcome.ok:
+                    payload = encode(outcome.value)
+                    checkpoint.record(keys[index], payload)
+                    # Round-trip through the codec so a resumed run and an
+                    # uninterrupted run return byte-identical results.
+                    results[index] = decode(payload)
+                elif failure is None:
+                    failure = outcome
+            if failure is not None:
+                failure.reraise()
+    return [results[index] for index in range(len(materialized))]

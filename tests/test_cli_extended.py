@@ -78,3 +78,81 @@ class TestReproduceAll:
         for table in ("IV", "V", "VI", "VII", "VIII", "IX"):
             assert f"Table {table} reproduction" in out
         assert "all rows within tolerance" in out
+
+
+class TestLenientIngest:
+    def test_bad_rows_survive_with_quality_report(self, capsys, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text(
+            "count_local_keys,106.9,0.05\n"
+            "broken_row,not_a_number,0.5\n"
+        )
+        code = main(
+            ["ingest", "--machine", "skl", "--file", str(path), "--lenient"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data quality" in out
+        assert "bad-cell" in out
+        assert "error budget widened" in out
+        assert "count_local_keys" in out
+
+    def test_strict_mode_still_dies_on_bad_row(self, capsys, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("ok,50.0,0.5\nbroken,not_a_number,0.5\n")
+        code = main(["ingest", "--machine", "skl", "--file", str(path)])
+        assert code == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_clean_input_prints_no_quality_block(self, capsys, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("count_local_keys,106.9,0.05\n")
+        code = main(
+            ["ingest", "--machine", "skl", "--file", str(path), "--lenient"]
+        )
+        assert code == 0
+        assert "data quality" not in capsys.readouterr().out
+
+
+class TestCharacterizeResume:
+    ARGS = ["characterize", "--machine", "skl", "--levels", "3"]
+
+    def test_checkpoint_then_resume_replays(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        assert main(self.ARGS + ["--checkpoint", str(ck)]) == 0
+        first = capsys.readouterr().out
+        assert ck.exists()
+        code = main(self.ARGS + ["--checkpoint", str(ck), "--resume"])
+        resumed = capsys.readouterr().out
+        assert code == 0
+        assert "resuming from checkpoint" in resumed
+        assert "3 level(s) already done" in resumed
+        # The replayed profile must match the fresh one line for line
+        # (wall time and cache stats legitimately differ).
+        profile = first[first.index("latency profile") : first.index("characterized in")]
+        assert profile in resumed
+
+    def test_no_resume_clears_stale_checkpoint(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        assert main(self.ARGS + ["--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--checkpoint", str(ck)]) == 0
+        assert "cleared stale checkpoint" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        code = main(self.ARGS + ["--resume"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_retry_flags_mirror_into_env(self, monkeypatch):
+        import os
+
+        # setenv (not delenv) so teardown restores the ORIGINAL state —
+        # delenv on an absent var registers nothing to undo, and the
+        # values main() writes would leak into later tests.
+        monkeypatch.setenv("REPRO_RETRIES", "")
+        monkeypatch.setenv("REPRO_TIMEOUT_S", "")
+        code = main(self.ARGS + ["--retries", "2", "--timeout-s", "30"])
+        assert code == 0
+        assert os.environ["REPRO_RETRIES"] == "2"
+        assert os.environ["REPRO_TIMEOUT_S"] == "30.0"

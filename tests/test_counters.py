@@ -19,6 +19,20 @@ from repro.errors import CounterError, CounterUnavailableError
 from repro.sim import SimConfig, run_trace, trace_from_addresses
 
 
+@pytest.fixture(autouse=True)
+def _fault_free_baseline():
+    """This file asserts exact counter values: park any ambient
+    ``REPRO_FAULTS`` spec (CI fault leg) and restore it afterwards."""
+    import os
+
+    from repro.resilience import configure_faults
+
+    ambient = os.environ.get("REPRO_FAULTS")
+    configure_faults(None)
+    yield
+    configure_faults(ambient)
+
+
 def _run(machine, n=600, seed=5, routine="r"):
     rng = random.Random(seed)
     line = machine.line_bytes
@@ -141,3 +155,86 @@ class TestRoutineProfile:
         whole = profile.whole_program_bandwidth()
         bws = [r.bandwidth_bytes for r in profile.reports()]
         assert min(bws) <= whole <= max(bws)
+
+
+class TestDegradedReads:
+    def test_clean_read_has_no_issues(self, skl):
+        session = CounterSession(skl, _run(skl))
+        reading, issues = session.read_with_quality(CounterEvent.MEM_READ_LINES)
+        assert issues == []
+        assert reading.value == session.read(CounterEvent.MEM_READ_LINES).value
+
+    def test_unsupported_event_degrades_instead_of_raising(self, a64fx):
+        session = CounterSession(a64fx, _run(a64fx))
+        event = CounterEvent.LOAD_LATENCY_GT_THRESHOLD
+        with pytest.raises(CounterUnavailableError):
+            session.read(event)
+        reading, issues = session.read_with_quality(event)
+        assert reading is None
+        assert [i.kind for i in issues] == ["missing-counter"]
+
+    def test_injected_drop_loses_the_sample(self, skl):
+        from repro.resilience import configure_faults
+
+        session = CounterSession(skl, _run(skl))
+        try:
+            configure_faults("counter_drop:p=1,seed=0")
+            reading, issues = session.read_with_quality(
+                CounterEvent.MEM_READ_LINES
+            )
+        finally:
+            configure_faults(None)
+        assert reading is None
+        assert [i.kind for i in issues] == ["dropped-sample"]
+
+    def test_injected_nan_keeps_reading_with_issue(self, skl):
+        import math
+
+        from repro.resilience import configure_faults
+
+        session = CounterSession(skl, _run(skl))
+        try:
+            configure_faults("counter_nan:p=1,seed=0")
+            reading, issues = session.read_with_quality(
+                CounterEvent.MEM_READ_LINES
+            )
+        finally:
+            configure_faults(None)
+        assert reading is not None and math.isnan(reading.value)
+        assert [i.kind for i in issues] == ["nan-counter"]
+
+    def test_degraded_bandwidth_clean_matches_strict(self, skl):
+        session = CounterSession(skl, _run(skl))
+        strict = session.bandwidth_bytes_per_s()
+        degraded, issues = session.bandwidth_with_quality()
+        assert issues == []
+        assert degraded == strict
+
+    def test_degraded_bandwidth_underestimates_on_drop(self, skl):
+        from repro.resilience import configure_faults
+
+        session = CounterSession(skl, _run(skl))
+        strict = session.bandwidth_bytes_per_s()
+        try:
+            configure_faults("counter_drop:p=1,seed=0")
+            degraded, issues = session.bandwidth_with_quality()
+        finally:
+            configure_faults(None)
+        # Every contributing counter dropped -> traffic under-estimated
+        # (multiplexing-gap semantics), never inflated.
+        assert degraded < strict
+        assert issues and all(i.kind == "dropped-sample" for i in issues)
+
+    def test_issues_widen_the_error_budget(self, skl):
+        from repro.core import quality_widened_errors
+        from repro.resilience import configure_faults
+
+        session = CounterSession(skl, _run(skl))
+        try:
+            configure_faults("counter_nan:p=1,seed=0")
+            _, issues = session.bandwidth_with_quality()
+        finally:
+            configure_faults(None)
+        widened_bw, _ = quality_widened_errors(issues)
+        clean_bw, _ = quality_widened_errors([])
+        assert widened_bw > clean_bw

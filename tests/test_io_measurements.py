@@ -11,6 +11,20 @@ from repro.io import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _fault_free_baseline():
+    """This file asserts exact parse results: park any ambient
+    ``REPRO_FAULTS`` spec (CI fault leg) and restore it afterwards."""
+    import os
+
+    from repro.resilience import configure_faults
+
+    ambient = os.environ.get("REPRO_FAULTS")
+    configure_faults(None)
+    yield
+    configure_faults(ambient)
+
+
 class TestCsv:
     def test_basic_rows(self):
         text = (
@@ -109,3 +123,94 @@ class TestAnalyzeMeasurements:
         measurements = [RoutineMeasurement("k", 60e9, 0.5)]
         reports = analyze_measurements(skl, measurements, profile=xmem_skl_profile)
         assert reports[0].mlp.n_avg > 0
+
+
+class TestCsvErrorLocations:
+    def test_short_row_names_line_number(self):
+        text = "ok,50.0,0.5\nonly_two,1.0\n"
+        with pytest.raises(ConfigurationError, match="line 2"):
+            from_csv(text)
+
+    def test_bad_cell_names_line_column_and_cell(self):
+        text = "ok,50.0,0.5\nbad,fast,0.5\n"
+        with pytest.raises(ConfigurationError) as info:
+            from_csv(text)
+        message = str(info.value)
+        assert "line 2" in message
+        assert "bandwidth_gbs" in message
+        assert "'fast'" in message
+
+    def test_nan_cell_rejected_with_location(self):
+        with pytest.raises(ConfigurationError, match="line 1.*NaN"):
+            from_csv("bad,nan,0.5\n")
+
+    def test_out_of_range_value_carries_line_number(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            from_csv("ok,50.0,0.5\nbad,50.0,1.5\n")
+
+    def test_line_numbers_count_comments_and_blanks(self):
+        text = "# header comment\n\nok,50.0,0.5\nbad,slow,0.5\n"
+        with pytest.raises(ConfigurationError, match="line 4"):
+            from_csv(text)
+
+
+class TestCsvDegraded:
+    def test_clean_input_has_no_issues(self):
+        from repro.io import from_csv_degraded
+
+        rows, issues = from_csv_degraded("a,50.0,0.5\nb,60.0,0.8\n")
+        assert [r.routine for r in rows] == ["a", "b"]
+        assert issues == []
+
+    def test_bad_rows_become_issues_not_errors(self):
+        from repro.io import from_csv_degraded
+
+        text = (
+            "good,50.0,0.5\n"
+            "short,1.0\n"
+            "nonnum,fast,0.5\n"
+            "range,50.0,1.5\n"
+            "tail,70.0,0.2\n"
+        )
+        rows, issues = from_csv_degraded(text)
+        assert [r.routine for r in rows] == ["good", "tail"]
+        kinds = [issue.kind for issue in issues]
+        assert kinds == ["skipped-row", "bad-cell", "bad-cell"]
+        assert issues[0].location == "line 2"
+        # Details are not doubly prefixed with the location.
+        assert not issues[1].detail.startswith("line")
+
+    def test_all_bad_input_still_raises(self):
+        from repro.io import from_csv_degraded
+
+        with pytest.raises(ConfigurationError, match="no measurement rows"):
+            from_csv_degraded("a,fast,0.5\nb,also_fast,0.5\n")
+
+    def test_injected_counter_drop_reports_dropped_samples(self):
+        from repro.io import from_csv_degraded
+        from repro.resilience import configure_faults
+
+        text = "a,50.0,0.5\nb,60.0,0.8\nc,70.0,0.2\n"
+        try:
+            configure_faults("counter_drop:p=0.5,seed=1")
+            rows1, issues1 = from_csv_degraded(text)
+            rows2, issues2 = from_csv_degraded(text)
+        finally:
+            configure_faults(None)
+        # Deterministic: both passes drop exactly the same rows.
+        assert [r.routine for r in rows1] == [r.routine for r in rows2]
+        assert [i.location for i in issues1] == [i.location for i in issues2]
+        assert len(rows1) + len(issues1) == 3
+        assert all(i.kind == "dropped-sample" for i in issues1)
+
+    def test_injected_counter_nan_reports_nan_bandwidth(self):
+        from repro.io import from_csv_degraded
+        from repro.resilience import configure_faults
+
+        try:
+            configure_faults("counter_nan:p=1,seed=0")
+            with pytest.raises(ConfigurationError):
+                # Every row NaNs out -> nothing survives.
+                from_csv_degraded("a,50.0,0.5\n")
+        finally:
+            configure_faults(None)

@@ -426,3 +426,88 @@ class TestSpecConsistency:
             found = list(check_machine(get_machine(name), mshr_bound_ok=True))
             assert [v.rule_id for v in found] == ["SPEC003"]
             assert found[0].severity is Severity.WARNING
+
+
+class TestResilienceHygieneRule:
+    #: A path inside the guarded library scope.
+    LIB = Path("src/repro/io/x.py")
+
+    def test_handled_exception_passes(self):
+        text = (
+            "import warnings\n"
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            "    warnings.warn(f'degraded: {exc}')\n"
+        )
+        assert _lint("RES", self.LIB, text).violations == []
+
+    def test_narrow_domain_type_passes(self):
+        text = "try:\n    work()\nexcept KeyError:\n    pass\n"
+        assert _lint("RES", self.LIB, text).violations == []
+
+    def test_silent_exception_pass_flagged(self):
+        text = "try:\n    work()\nexcept Exception:\n    pass\n"
+        result = _lint("RES", self.LIB, text)
+        assert [v.rule_id for v in result.violations] == ["RES001"]
+        assert result.exit_code == 1
+
+    def test_bare_except_continue_flagged(self):
+        text = (
+            "for item in items:\n"
+            "    try:\n"
+            "        work(item)\n"
+            "    except:\n"
+            "        continue\n"
+        )
+        assert [
+            v.rule_id for v in _lint("RES", self.LIB, text).violations
+        ] == ["RES001"]
+
+    def test_oserror_pass_flagged(self):
+        text = "try:\n    work()\nexcept OSError:\n    pass\n"
+        assert [
+            v.rule_id for v in _lint("RES", self.LIB, text).violations
+        ] == ["RES001"]
+
+    def test_tuple_containing_broad_type_flagged(self):
+        text = "try:\n    work()\nexcept (OSError, TypeError):\n    return None\n"
+        wrapped = "def f():\n" + "".join(
+            "    " + line + "\n" for line in text.splitlines()
+        )
+        assert [
+            v.rule_id for v in _lint("RES", self.LIB, wrapped).violations
+        ] == ["RES001"]
+
+    def test_return_of_bound_exception_passes(self):
+        text = (
+            "def f():\n"
+            "    try:\n"
+            "        return work()\n"
+            "    except Exception as exc:\n"
+            "        return exc\n"
+        )
+        assert _lint("RES", self.LIB, text).violations == []
+
+    def test_resilience_layer_sanctioned(self):
+        text = "try:\n    work()\nexcept Exception:\n    pass\n"
+        path = Path("src/repro/resilience/faults.py")
+        assert _lint("RES", path, text).violations == []
+
+    def test_parallel_pool_machinery_sanctioned(self):
+        text = "try:\n    work()\nexcept Exception:\n    pass\n"
+        path = Path("src/repro/perf/parallel.py")
+        assert _lint("RES", path, text).violations == []
+
+    def test_tests_exempt(self):
+        text = "try:\n    work()\nexcept Exception:\n    pass\n"
+        assert _lint("RES", Path("tests/test_x.py"), text).violations == []
+
+    def test_noqa_suppresses(self):
+        text = (
+            "try:\n"
+            "    work()\n"
+            "except OSError:  # repro: noqa[RES001] - best-effort cleanup\n"
+            "    pass\n"
+        )
+        assert _lint("RES", self.LIB, text).violations == []

@@ -19,6 +19,20 @@ from repro.sim.trace import trace_from_addresses
 from repro.xmem.kernels import throughput_trace
 
 
+@pytest.fixture(autouse=True)
+def _fault_free_baseline():
+    """This file asserts exact hit/miss behavior: park any ambient
+    ``REPRO_FAULTS`` spec (CI fault leg) and restore it afterwards."""
+    import os
+
+    from repro.resilience import configure_faults
+
+    ambient = os.environ.get("REPRO_FAULTS")
+    configure_faults(None)
+    yield
+    configure_faults(ambient)
+
+
 @pytest.fixture
 def skl_inputs(skl):
     trace = throughput_trace(
@@ -164,3 +178,62 @@ class TestSimCacheStore:
         )
         assert rebuilt.fingerprint() == stats.fingerprint()
         assert rebuilt.wall_s == stats.wall_s
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_quarantined_not_deleted(
+        self, tmp_path, skl_inputs
+    ):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=True)
+        cached_run_trace(trace, config, cache=cache)
+        digest = digest_for(trace, config)
+        path = cache.path_for(digest)
+        damaged = b"{ this is not json"
+        path.write_bytes(damaged)
+        with pytest.warns(UserWarning, match="quarantined"):
+            cache.load(digest)
+        quarantined = path.with_suffix(".corrupt")
+        assert quarantined.exists()
+        # The damaged bytes survive for forensics...
+        assert quarantined.read_bytes() == damaged
+        # ...and the original path no longer satisfies lookups.
+        assert not path.exists()
+
+    def test_quarantined_entry_is_resimulated_and_restored(
+        self, tmp_path, skl_inputs
+    ):
+        trace, config = skl_inputs
+        cache = SimCache(tmp_path, enabled=True)
+        baseline = cached_run_trace(trace, config, cache=cache)
+        digest = digest_for(trace, config)
+        path = cache.path_for(digest)
+        path.write_text("garbage")
+        with pytest.warns(UserWarning, match="corrupt"):
+            recovered = cached_run_trace(trace, config, cache=cache)
+        assert recovered.fingerprint() == baseline.fingerprint()
+        # A fresh, valid entry exists again alongside the quarantined one.
+        assert json.loads(path.read_text())["digest"] == digest
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_injected_corruption_recovers_bit_identically(
+        self, tmp_path, skl_inputs
+    ):
+        # cache_corrupt damages each entry right after store; the next
+        # lookup must quarantine it, re-simulate, and agree exactly with
+        # the clean result.
+        from repro.resilience import configure_faults
+
+        trace, config = skl_inputs
+        clean_cache = SimCache(tmp_path / "clean", enabled=True)
+        baseline = cached_run_trace(trace, config, cache=clean_cache)
+        try:
+            configure_faults("cache_corrupt:p=1,seed=3")
+            cache = SimCache(tmp_path / "faulty", enabled=True)
+            first = cached_run_trace(trace, config, cache=cache)
+            with pytest.warns(UserWarning, match="corrupt"):
+                second = cached_run_trace(trace, config, cache=cache)
+        finally:
+            configure_faults(None)
+        assert first.fingerprint() == baseline.fingerprint()
+        assert second.fingerprint() == baseline.fingerprint()

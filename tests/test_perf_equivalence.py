@@ -22,6 +22,20 @@ MACHINES = ("skl", "knl", "a64fx")
 ACCESSES = 400
 
 
+@pytest.fixture(autouse=True)
+def _fault_free_baseline():
+    """This file asserts exact hit/miss counts: park any ambient
+    ``REPRO_FAULTS`` spec (CI fault leg) and restore it afterwards."""
+    import os
+
+    from repro.resilience import configure_faults
+
+    ambient = os.environ.get("REPRO_FAULTS")
+    configure_faults(None)
+    yield
+    configure_faults(ambient)
+
+
 def _case_inputs(machine_name):
     machine = get_machine(machine_name)
     trace = throughput_trace(

@@ -1,0 +1,276 @@
+"""Checkpoint/resume: JSONL durability, corruption handling, byte-identical resume."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.perf.cache import stable_digest
+from repro.resilience import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    dataclass_codec,
+    run_checkpointed,
+)
+
+
+@dataclass(frozen=True)
+class _Point:
+    """Stand-in sweep result: flat JSON-scalar dataclass."""
+
+    x: int
+    y: float
+
+
+def _compute(x: int) -> _Point:
+    return _Point(x=x, y=x * 0.5)
+
+
+def _fail_on_three(x: int) -> _Point:
+    if x == 3:
+        raise ValueError("boom on 3")
+    return _compute(x)
+
+
+def _key(x: int) -> str:
+    return stable_digest({"harness": "test-sweep", "x": x})
+
+
+def _dump(results) -> str:
+    """Canonical byte-level form of a result list."""
+    return json.dumps([dataclasses.asdict(r) for r in results], sort_keys=True)
+
+
+class TestSweepCheckpoint:
+    def test_missing_file_is_empty(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        assert not ck.exists
+        assert ck.load() == {}
+
+    def test_record_load_roundtrip(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        ck.record("k1", {"a": 1})
+        ck.record("k2", [1, 2.5, "s"])
+        assert ck.exists
+        assert ck.load() == {"k1": {"a": 1}, "k2": [1, 2.5, "s"]}
+
+    def test_header_written_once(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        ck.record("k1", 1)
+        ck.record("k2", 2)
+        lines = (tmp_path / "ck.jsonl").read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "label": "t",
+        }
+        assert len(lines) == 3
+
+    def test_clear_discards(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl")
+        ck.record("k", 1)
+        ck.clear()
+        assert not ck.exists
+        ck.clear()  # idempotent on a missing file
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, label="t")
+        ck.record("k1", 1)
+        ck.record("k2", 2)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 8])  # tear the last append
+        assert ck.load() == {"k1": 1}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, label="t")
+        ck.record("k1", 1)
+        ck.record("k2", 2)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"key": "k1", "val'  # corrupt a NON-final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="line 2"):
+            ck.load()
+
+    def test_foreign_label_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        SweepCheckpoint(path, label="xmem:skl").record("k", 1)
+        with pytest.raises(CheckpointError, match="belongs to harness"):
+            SweepCheckpoint(path, label="xmem:knl").load()
+
+    def test_unlabeled_reader_accepts_any_label(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        SweepCheckpoint(path, label="xmem:skl").record("k", 1)
+        assert SweepCheckpoint(path).load() == {"k": 1}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text(
+            json.dumps({"format": CHECKPOINT_FORMAT, "version": 999, "label": ""})
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            SweepCheckpoint(path).load()
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"hello": "world"}\n{"key": "k", "value": 1}\n')
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            SweepCheckpoint(path).load()
+
+
+class TestRunCheckpointed:
+    def _codec(self):
+        return dataclass_codec(_Point)
+
+    def test_no_checkpoint_is_plain_fan_out(self):
+        encode, decode = self._codec()
+        results = run_checkpointed(
+            _compute,
+            [0, 1, 2],
+            checkpoint=None,
+            key_fn=_key,
+            encode=encode,
+            decode=decode,
+        )
+        assert results == [_compute(x) for x in range(3)]
+
+    def test_fresh_run_records_every_item(self, tmp_path):
+        encode, decode = self._codec()
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        results = run_checkpointed(
+            _compute, [0, 1, 2], checkpoint=ck, key_fn=_key,
+            encode=encode, decode=decode,
+        )
+        assert [r.x for r in results] == [0, 1, 2]
+        assert set(ck.load()) == {_key(x) for x in range(3)}
+
+    def test_recorded_items_are_not_recomputed(self, tmp_path):
+        encode, decode = self._codec()
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        for x in (0, 1):
+            ck.record(_key(x), encode(_compute(x)))
+        # _fail_on_three would die on 3; with 3 already recorded the
+        # resume must replay it instead of calling the function.
+        ck.record(_key(3), encode(_compute(3)))
+        results = run_checkpointed(
+            _fail_on_three, [0, 1, 2, 3], checkpoint=ck, key_fn=_key,
+            encode=encode, decode=decode,
+        )
+        assert results == [_compute(x) for x in range(4)]
+
+    def test_interrupted_then_resumed_is_byte_identical(self, tmp_path):
+        encode, decode = self._codec()
+        items = [0, 1, 2, 3, 4]
+        uninterrupted = run_checkpointed(
+            _compute, items, checkpoint=None, key_fn=_key,
+            encode=encode, decode=decode,
+        )
+        # First pass dies on item 3 (chunk=1 records each success
+        # durably before the failure propagates — the "kill").
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        with pytest.raises(ValueError, match="boom on 3"):
+            run_checkpointed(
+                _fail_on_three, items, checkpoint=ck, key_fn=_key,
+                encode=encode, decode=decode, chunk=1,
+            )
+        recorded = ck.load()
+        assert set(recorded) == {_key(x) for x in (0, 1, 2)}
+        # Resume with the healthy function: only 3 and 4 run fresh.
+        resumed = run_checkpointed(
+            _compute, items, checkpoint=ck, key_fn=_key,
+            encode=encode, decode=decode,
+        )
+        assert _dump(resumed) == _dump(uninterrupted)
+
+    def test_failure_is_raised_after_chunk_successes_recorded(self, tmp_path):
+        encode, decode = self._codec()
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        # One chunk holds [2, 3, 4]: 3 fails but 2 and 4 must be durable.
+        with pytest.raises(ValueError, match="boom on 3"):
+            run_checkpointed(
+                _fail_on_three, [2, 3, 4], checkpoint=ck, key_fn=_key,
+                encode=encode, decode=decode, chunk=3,
+            )
+        assert set(ck.load()) == {_key(2), _key(4)}
+
+    def test_results_round_trip_through_codec(self, tmp_path):
+        # Fresh results must pass through encode/decode so that a
+        # resumed run can never differ from an uninterrupted one.
+        def encode_lossy(p):
+            return {"x": p.x, "y": round(p.y, 1)}
+
+        def decode_lossy(doc):
+            return _Point(**doc)
+
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", label="t")
+        results = run_checkpointed(
+            lambda x: _Point(x=x, y=x * 0.123456),
+            [1],
+            checkpoint=ck,
+            key_fn=_key,
+            encode=encode_lossy,
+            decode=decode_lossy,
+        )
+        assert results[0].y == round(1 * 0.123456, 1)
+
+
+class TestHarnessIntegration:
+    def test_operating_curve_resumes_byte_identically(self, tmp_path, skl):
+        from repro.core.sweep import operating_curve
+
+        plain = operating_curve(skl, points=5)
+        ck = SweepCheckpoint(tmp_path / "curve.jsonl", label="t")
+        first = operating_curve(skl, points=5, checkpoint=ck)
+        assert ck.exists
+        resumed = operating_curve(skl, points=5, checkpoint=ck)
+        assert _dump(first) == _dump(plain)
+        assert _dump(resumed) == _dump(plain)
+
+    def test_prefetch_distance_sweep_checkpoints(self, tmp_path):
+        from repro.experiments.ablation import prefetch_distance_sweep
+
+        ck = SweepCheckpoint(tmp_path / "pd.jsonl", label="t")
+        kwargs = dict(
+            distances=(0, 4), accesses_per_thread=400, checkpoint=ck
+        )
+        first = prefetch_distance_sweep(**kwargs)
+        assert len(ck.load()) == 2
+        resumed = prefetch_distance_sweep(**kwargs)
+        assert _dump(resumed) == _dump(first)
+
+    def test_xmem_sweep_checkpoints(self, tmp_path, skl):
+        from repro.xmem import XMemConfig
+        from repro.xmem.runner import XMemRunner
+
+        config = XMemConfig(levels=3, accesses_per_thread=300)
+        runner = XMemRunner(skl, config)
+        ck = SweepCheckpoint(tmp_path / "xmem.jsonl", label="t")
+        first = runner.sweep(checkpoint=ck)
+        assert len(ck.load()) == 3
+        resumed = runner.sweep(checkpoint=ck)
+        assert _dump(resumed) == _dump(first)
+
+    def test_cross_validate_checkpoints(self, tmp_path):
+        from repro.experiments import cross_validate
+        from repro.machines import get_machine
+        from repro.workloads import get_workload
+
+        ck = SweepCheckpoint(tmp_path / "cv.jsonl", label="t")
+        kwargs = dict(
+            machines=[get_machine("skl")],
+            workloads=[get_workload("isx")],
+            accesses_per_thread=600,
+            checkpoint=ck,
+        )
+        first = cross_validate(**kwargs)
+        assert len(ck.load()) == len(first) == 1
+        resumed = cross_validate(**kwargs)
+        assert _dump(resumed) == _dump(first)

@@ -1,0 +1,156 @@
+"""Record one simulator-throughput trajectory point.
+
+Appends a snapshot of the repo's headline performance numbers to
+``BENCH_sim_throughput.json`` at the repo root.  The file holds a JSON
+list; each run appends one record (never overwrites), so it accumulates
+a throughput trajectory across commits.  Each record captures:
+
+* per-machine event-engine throughput (events/sec) on the standard
+  X-Mem load workload;
+* columnar trace-generation throughput (accesses/sec);
+* warm content-addressed-cache replay speedup over re-simulation;
+* batch-stepping fast-path speedup (accesses/sec ratio, hit-heavy
+  workload) with its fingerprint-equality check;
+* git SHA and UTC date for provenance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_sim_throughput.json"
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.machines import get_machine  # noqa: E402
+from repro.perf.cache import SimCache, cached_run_trace  # noqa: E402
+from repro.sim import SimConfig, run_trace  # noqa: E402
+from repro.sim.coltrace import ColumnarThreadTrace, ColumnarTrace  # noqa: E402
+from repro.workloads.generators import random_updates  # noqa: E402
+from repro.xmem.kernels import resident_trace, throughput_trace  # noqa: E402
+
+MACHINES = ("skl", "knl", "a64fx")
+THREADS = 4
+ACCESSES = 4000
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _events_per_sec(machine_name: str) -> float:
+    machine = get_machine(machine_name)
+    trace = throughput_trace(
+        threads=THREADS,
+        accesses_per_thread=ACCESSES,
+        line_bytes=machine.line_bytes,
+        gap_cycles=10.0,
+    )
+    stats = run_trace(trace, SimConfig(machine=machine, sim_cores=THREADS))
+    return stats.events_per_sec()
+
+
+def _gen_throughput() -> float:
+    """Columnar generation rate (accesses/sec) for the random-update mix."""
+    import numpy as np
+
+    n = 200_000
+    start = time.perf_counter()
+    threads = tuple(
+        ColumnarThreadTrace.from_columns(
+            t, random_updates(n, 64, np.random.default_rng(17 + t), region_id=t)
+        )
+        for t in range(THREADS)
+    )
+    ColumnarTrace(threads=threads, routine="trajectory", line_bytes=64)
+    return THREADS * n / (time.perf_counter() - start)
+
+
+def _warm_cache_speedup(tmp_dir: Path) -> float:
+    machine = get_machine("skl")
+    trace = throughput_trace(
+        threads=THREADS,
+        accesses_per_thread=ACCESSES,
+        line_bytes=machine.line_bytes,
+        gap_cycles=10.0,
+    )
+    config = SimConfig(machine=machine, sim_cores=THREADS)
+    cache = SimCache(tmp_dir, enabled=True)
+    cold = cached_run_trace(trace, config, cache=cache)
+    start = time.perf_counter()
+    cached_run_trace(trace, config, cache=cache)
+    replay_s = time.perf_counter() - start
+    return cold.wall_s / replay_s if replay_s > 0 else float("inf")
+
+
+def _batch_speedup() -> dict:
+    machine = get_machine("skl")
+    trace = resident_trace(
+        threads=THREADS,
+        accesses_per_thread=40_000,
+        line_bytes=machine.line_bytes,
+    )
+    event = run_trace(trace, SimConfig(machine=machine, sim_cores=THREADS, batch=False))
+    batch = run_trace(trace, SimConfig(machine=machine, sim_cores=THREADS, batch=True))
+    return {
+        "speedup": batch.accesses_per_sec() / event.accesses_per_sec(),
+        "batch_accesses_per_sec": batch.accesses_per_sec(),
+        "event_accesses_per_sec": event.accesses_per_sec(),
+        "batched_fraction": batch.batch_accesses / batch.issued_total(),
+        "fingerprint_equal": batch.fingerprint() == event.fingerprint(),
+    }
+
+
+def record() -> dict:
+    """Measure one trajectory point and append it to the JSON file."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        warm_speedup = _warm_cache_speedup(Path(tmp))
+    entry = {
+        "git_sha": _git_sha(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "events_per_sec": {m: _events_per_sec(m) for m in MACHINES},
+        "trace_gen_accesses_per_sec": _gen_throughput(),
+        "warm_cache_speedup": warm_speedup,
+        "batch": _batch_speedup(),
+    }
+    history = []
+    if OUT_PATH.exists():
+        history = json.loads(OUT_PATH.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"{OUT_PATH} is not a JSON list; refusing to clobber")
+    history.append(entry)
+    OUT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    return entry
+
+
+if __name__ == "__main__":
+    point = record()
+    batch = point["batch"]
+    print(f"recorded trajectory point {point['git_sha'][:12]} -> {OUT_PATH}")
+    for name, eps in point["events_per_sec"].items():
+        print(f"  {name}: {eps / 1e3:.0f}k events/s")
+    print(f"  trace gen: {point['trace_gen_accesses_per_sec'] / 1e6:.1f}M acc/s")
+    print(f"  warm cache replay: {point['warm_cache_speedup']:.0f}x")
+    print(
+        f"  batch fast path: {batch['speedup']:.1f}x "
+        f"(fingerprint equal: {batch['fingerprint_equal']})"
+    )

@@ -348,4 +348,29 @@ class CacheKeyRule(Rule):
                 report_line=line,
             )
         )
+
+        # Behavioral spot-check for the batch-stepping flag: it selects
+        # an execution strategy whose results are bit-identical, which
+        # makes it exactly the field a future "doesn't affect results"
+        # cleanup might drop from the key — but entries must still never
+        # alias across the flag (wall_s/batch_accesses differ, and the
+        # equivalence guarantee itself must stay falsifiable from cached
+        # data).
+        path, line = _source_location(cache_mod.digest_for)
+        flipped = dataclasses.replace(config, batch=not config.batch)
+        if cache_mod.digest_for(trace, config) == cache_mod.digest_for(
+            trace, flipped
+        ):
+            out.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule_id="KEY002",
+                    message=(
+                        "SimConfig.batch does not change the cache digest "
+                        "— batch and event-path entries would alias"
+                    ),
+                )
+            )
         return out

@@ -72,7 +72,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
     _apply_perf_flags(args)
     machine = get_machine(args.machine)
-    config = XMemConfig(levels=args.levels)
+    config = XMemConfig(levels=args.levels, batch=args.batch)
     checkpoint = None
     if args.checkpoint:
         from .resilience.checkpoint import SweepCheckpoint
@@ -238,7 +238,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     stats = cached_run_trace(
         trace,
         SimConfig(
-            machine=machine, sim_cores=cores, window_per_core=args.window
+            machine=machine,
+            sim_cores=cores,
+            window_per_core=args.window,
+            batch=args.batch,
         ),
     )
     print(
@@ -386,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the content-addressed simulation result cache",
+    )
+    perf_flags.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="batch-stepping fast path: retire provable L1-hit runs "
+        "vectorized, falling back to the event engine for the miss "
+        "stream (results are bit-identical; --no-batch forces the "
+        "pure event engine)",
     )
     perf_flags.add_argument(
         "--retries",

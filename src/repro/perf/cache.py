@@ -65,7 +65,11 @@ from ..sim.stats import SimStats
 #: canonical array bytes (repro.sim.coltrace.trace_digest) and the
 #: vectorized generators changed trace content once, so v1 entries must
 #: never be replayed.
-SCHEMA_VERSION = 2
+#: v3: batch-stepping fast path — SimStats gained ``batch_accesses`` and
+#: SimConfig gained ``batch`` (the flag enters the digest via the config
+#: payload; the schema bump invalidates v2 entries whose stored stats
+#: lack the new field).
+SCHEMA_VERSION = 3
 
 _DISABLE_VALUES = ("0", "off", "false", "no")
 

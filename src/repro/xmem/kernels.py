@@ -99,6 +99,62 @@ def throughput_thread(
     return ColumnarThreadTrace(thread_id, addr, kind, gap)
 
 
+def resident_thread(
+    thread_id: int,
+    accesses_total: int,
+    line_bytes: int,
+    *,
+    hot_lines: int = 384,
+    gap_cycles: float = 6.0,
+) -> ColumnarThreadTrace:
+    """One thread looping over an L1-resident footprint.
+
+    After one warm-up pass every access hits L1, which makes this the
+    reference workload for the batch-stepping fast path (the event and
+    batch engines must agree bit-for-bit while the batch path retires
+    nearly the whole trace vectorized).  ``hot_lines`` must fit the
+    target L1 for the "resident" premise to hold; the default suits a
+    32 KiB / 64 B cache with room to spare.  Threads use disjoint
+    regions, as elsewhere in this module.
+    """
+    if accesses_total <= 0 or hot_lines <= 0:
+        raise TraceError("accesses_total and hot_lines must be positive")
+    idx = np.arange(accesses_total, dtype=np.int64)
+    base = thread_id * (1 << 36)
+    addr = (base + (idx % hot_lines) * line_bytes).astype(ADDR_DTYPE)
+    kind = np.full(accesses_total, KIND_CODES[AccessKind.LOAD], dtype=KIND_DTYPE)
+    gap = np.full(accesses_total, gap_cycles, dtype=GAP_DTYPE)
+    return ColumnarThreadTrace(thread_id, addr, kind, gap)
+
+
+def resident_trace(
+    *,
+    threads: int,
+    accesses_per_thread: int,
+    line_bytes: int,
+    hot_lines: int = 384,
+    gap_cycles: float = 6.0,
+    routine: str = "l1_resident",
+) -> ColumnarTrace:
+    """A multi-threaded L1-resident (all-hit after warm-up) workload."""
+    if threads <= 0:
+        raise TraceError("threads must be positive")
+    return ColumnarTrace(
+        threads=tuple(
+            resident_thread(
+                t,
+                accesses_per_thread,
+                line_bytes,
+                hot_lines=hot_lines,
+                gap_cycles=gap_cycles,
+            )
+            for t in range(threads)
+        ),
+        routine=routine,
+        line_bytes=line_bytes,
+    )
+
+
 def throughput_trace(
     *,
     threads: int,

@@ -50,7 +50,9 @@ class XMemConfig:
 
     ``sim_cores`` controls the simulated slice; the achieved bandwidths
     are scaled back to full-socket numbers so the resulting profile is
-    directly usable with full-socket observed bandwidths.
+    directly usable with full-socket observed bandwidths.  ``batch``
+    forwards to :attr:`repro.sim.hierarchy.SimConfig.batch` (the
+    batch-stepping fast path; results are bit-identical either way).
     """
 
     sim_cores: int = 2
@@ -60,6 +62,7 @@ class XMemConfig:
     max_gap_cycles: float = 400.0
     hw_prefetch: bool = True
     window_per_core: int = 32
+    batch: bool = True
 
 
 class XMemRunner:
@@ -88,6 +91,7 @@ class XMemRunner:
             threads_per_core=1,
             window_per_core=cfg.window_per_core,
             hw_prefetch=cfg.hw_prefetch,
+            batch=cfg.batch,
         )
         stats = cached_run_trace(trace, sim_cfg)
         slice_fraction = cfg.sim_cores / self.machine.active_cores

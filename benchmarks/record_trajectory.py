@@ -41,6 +41,9 @@ MACHINES = ("skl", "knl", "a64fx")
 THREADS = 4
 ACCESSES = 4000
 
+#: Bumped when a record's shape changes; readers can dispatch on it.
+SCHEMA_VERSION = 2
+
 
 def _git_sha() -> str:
     try:
@@ -118,6 +121,46 @@ def _batch_speedup() -> dict:
     }
 
 
+def load_history(path: Path) -> list:
+    """The existing trajectory, or a fresh one if the file is unusable.
+
+    The trajectory file is an accumulating artifact that survives
+    branch switches, merges, and interrupted runs — a corrupt or
+    missing file must cost one warning, not the measurement that was
+    just taken.  The unusable original is preserved next to the new
+    file as ``<name>.corrupt`` so nothing is silently destroyed.
+    """
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        problem = f"unreadable ({exc})"
+        history = None
+    else:
+        if isinstance(history, list):
+            return history
+        problem = f"not a JSON list (got {type(history).__name__})"
+    backup = path.with_suffix(path.suffix + ".corrupt")
+    try:
+        path.replace(backup)
+        kept = f"; original kept at {backup.name}"
+    except OSError:
+        kept = ""
+    print(
+        f"warning: {path.name} is {problem}; starting a fresh trajectory{kept}",
+        file=sys.stderr,
+    )
+    return []
+
+
+def append_point(path: Path, entry: dict) -> None:
+    """Append one record to the trajectory file (never overwrites data)."""
+    history = load_history(path)
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
 def record() -> dict:
     """Measure one trajectory point and append it to the JSON file."""
     import tempfile
@@ -125,6 +168,7 @@ def record() -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         warm_speedup = _warm_cache_speedup(Path(tmp))
     entry = {
+        "schema_version": SCHEMA_VERSION,
         "git_sha": _git_sha(),
         "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "events_per_sec": {m: _events_per_sec(m) for m in MACHINES},
@@ -132,13 +176,7 @@ def record() -> dict:
         "warm_cache_speedup": warm_speedup,
         "batch": _batch_speedup(),
     }
-    history = []
-    if OUT_PATH.exists():
-        history = json.loads(OUT_PATH.read_text())
-        if not isinstance(history, list):
-            raise SystemExit(f"{OUT_PATH} is not a JSON list; refusing to clobber")
-    history.append(entry)
-    OUT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_point(OUT_PATH, entry)
     return entry
 
 

@@ -15,6 +15,7 @@ See ``docs/LINTING.md`` for rule-by-rule rationale, the
 from __future__ import annotations
 
 from .core import (
+    FunctionDataflow,
     LintError,
     LintResult,
     LintRunner,
@@ -24,12 +25,14 @@ from .core import (
     Violation,
     all_rules,
     get_rule,
+    iter_functions,
     iter_python_files,
     register,
 )
 from .reporters import render_json, render_text, to_json_doc
 
 __all__ = [
+    "FunctionDataflow",
     "LintError",
     "LintResult",
     "LintRunner",
@@ -39,6 +42,7 @@ __all__ = [
     "Violation",
     "all_rules",
     "get_rule",
+    "iter_functions",
     "iter_python_files",
     "register",
     "render_json",

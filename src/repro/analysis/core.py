@@ -185,6 +185,228 @@ class Rule:
         return ()
 
 
+# -- lightweight intraprocedural dataflow ----------------------------------------
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (sync or async) function definition in ``tree``, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node  # type: ignore[misc]
+
+
+class FunctionDataflow:
+    """Forward, intraprocedural, **must**-facts dataflow over one function.
+
+    Facts are opaque hashable tokens ("this receiver is flush-clean",
+    "this name is definitely a float").  The walker owns control flow;
+    rules subclass and override two hooks:
+
+    * :meth:`flow_expr` — called once per evaluated expression tree with
+      the *current* fact set; inspect it (report findings) and apply the
+      rule's gen/kill effects by mutating ``facts`` in place;
+    * :meth:`flow_bind` — called for every name-binding target (assign
+      targets, loop variables, ``with ... as``), so rules can kill facts
+      invalidated by rebinding.
+
+    Join rules are deliberately conservative for a must-analysis:
+    branch fallthroughs **intersect** (a fact holds after an ``if`` only
+    when every surviving branch establishes it); loop bodies are run
+    twice, the second pass starting from ``entry ∩ first-pass-exit``,
+    which is sound (never invents a fact) though it may drop facts a
+    full fixpoint would keep; ``except`` handlers start from **no**
+    facts, since any prefix of the ``try`` body may have run.  Findings
+    should therefore be deduplicated by position — the two loop passes
+    revisit the same statements (:class:`Rule` implementations using
+    this walker collect into a set).
+    """
+
+    def analyze(
+        self,
+        func_body: Sequence[ast.stmt],
+        entry: Optional[Set[object]] = None,
+    ) -> Optional[Set[object]]:
+        """Walk ``func_body`` from ``entry`` facts; returns exit facts."""
+        self._break_stack: List[List[Set[object]]] = []
+        self._continue_stack: List[List[Set[object]]] = []
+        return self._block(list(func_body), set(entry or ()))
+
+    # -- hooks -------------------------------------------------------------------
+
+    def flow_expr(self, node: ast.expr, facts: Set[object]) -> None:
+        """Inspect one evaluated expression; mutate ``facts`` (gen/kill)."""
+
+    def flow_bind(self, target: ast.expr, facts: Set[object]) -> None:
+        """A binding target (Name/Tuple/Attribute/...) was (re)assigned."""
+
+    def flow_assignment(self, stmt: ast.stmt, facts: Set[object]) -> None:
+        """An Assign/AnnAssign/AugAssign completed (value seen, targets
+        bound); rules that derive facts from the (target, value) pair —
+        e.g. float-typedness — gen them here."""
+
+    # -- control-flow walker -----------------------------------------------------
+
+    def _expr(self, node: Optional[ast.expr], facts: Set[object]) -> None:
+        if node is not None:
+            self.flow_expr(node, facts)
+
+    def _bind(self, target: Optional[ast.expr], facts: Set[object]) -> None:
+        if target is None:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, facts)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, facts)
+        else:
+            self.flow_bind(target, facts)
+
+    @staticmethod
+    def _join(exits: List[Optional[Set[object]]]) -> Optional[Set[object]]:
+        """Intersection of the branches that can fall through."""
+        live = [e for e in exits if e is not None]
+        if not live:
+            return None
+        out = set(live[0])
+        for other in live[1:]:
+            out &= other
+        return out
+
+    def _block(
+        self, stmts: Sequence[ast.stmt], facts: Set[object]
+    ) -> Optional[Set[object]]:
+        """Run a statement list; returns exit facts, or None if no fallthrough."""
+        for stmt in stmts:
+            result = self._stmt(stmt, facts)
+            if result is None:
+                return None
+            facts = result
+        return facts
+
+    def _loop(
+        self,
+        body: Sequence[ast.stmt],
+        orelse: Sequence[ast.stmt],
+        entry: Set[object],
+        prelude: Optional[ast.expr] = None,
+        target: Optional[ast.expr] = None,
+    ) -> Optional[Set[object]]:
+        """Shared While/For handling: two-pass conservative fixpoint."""
+        self._break_stack.append([])
+        self._continue_stack.append([])
+        body_in = set(entry)
+        if prelude is not None:
+            self._expr(prelude, body_in)
+        self._bind(target, body_in)
+        first_exit = self._block(body, set(body_in))
+        continues = self._continue_stack[-1]
+        back_edges: List[Optional[Set[object]]] = [first_exit]
+        back_edges.extend(continues)
+        looped = self._join(back_edges)
+        second_in = body_in & looped if looped is not None else body_in
+        continues.clear()
+        if prelude is not None:
+            self._expr(prelude, second_in)
+        self._bind(target, second_in)
+        second_exit = self._block(body, set(second_in))
+        breaks = self._break_stack.pop()
+        continues = self._continue_stack.pop()
+        # After the loop: zero iterations (entry, test evaluated), any
+        # number of full iterations (including continue-shortened ones,
+        # which re-test and may fall out), or a break.
+        exits: List[Optional[Set[object]]] = [set(second_in), second_exit]
+        exits.extend(continues)
+        exits.extend(breaks)
+        after = self._join(exits)
+        if after is not None and orelse:
+            return self._block(orelse, after)
+        return after
+
+    def _stmt(self, stmt: ast.stmt, facts: Set[object]) -> Optional[Set[object]]:
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, facts)
+            then_exit = self._block(stmt.body, set(facts))
+            else_exit = self._block(stmt.orelse, set(facts))
+            return self._join([then_exit, else_exit])
+        if isinstance(stmt, ast.While):
+            return self._loop(stmt.body, stmt.orelse, facts, prelude=stmt.test)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(
+                stmt.body, stmt.orelse, facts, prelude=stmt.iter, target=stmt.target
+            )
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            body_exit = self._block(stmt.body, set(facts))
+            exits: List[Optional[Set[object]]] = []
+            if stmt.orelse:
+                if body_exit is not None:
+                    exits.append(self._block(stmt.orelse, set(body_exit)))
+            else:
+                exits.append(body_exit)
+            for handler in stmt.handlers:
+                # Any prefix of the body may have executed: start clean.
+                exits.append(self._block(handler.body, set()))
+            after = self._join(exits)
+            if stmt.finalbody:
+                final_in = after if after is not None else set()
+                final_exit = self._block(stmt.finalbody, final_in)
+                return final_exit if after is not None else None
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, facts)
+                self._bind(item.optional_vars, facts)
+            return self._block(stmt.body, facts)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return):
+                self._expr(stmt.value, facts)
+            else:
+                self._expr(stmt.exc, facts)
+                self._expr(stmt.cause, facts)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if isinstance(stmt, ast.Break):
+                if self._break_stack:
+                    self._break_stack[-1].append(set(facts))
+            elif self._continue_stack:
+                self._continue_stack[-1].append(set(facts))
+            return None
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are separate dataflow scopes (callers
+            # analyze them via iter_functions); binding the name kills.
+            self._bind(ast.Name(id=stmt.name, ctx=ast.Store()), facts)
+            return facts
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, facts)
+            for target in stmt.targets:
+                self._bind(target, facts)
+            self.flow_assignment(stmt, facts)
+            return facts
+        if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            self._expr(stmt.value, facts)
+            self._bind(stmt.target, facts)
+            self.flow_assignment(stmt, facts)
+            return facts
+        if isinstance(stmt, (ast.Expr, ast.Assert)):
+            if isinstance(stmt, ast.Expr):
+                self._expr(stmt.value, facts)
+            else:
+                self._expr(stmt.test, facts)
+                self._expr(stmt.msg, facts)
+            return facts
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._bind(target, facts)
+            return facts
+        # Import / Global / Nonlocal / Pass / Match fall through with the
+        # incoming facts (Match is rare enough to treat opaquely: clear
+        # facts so we never *invent* one across an unanalyzed construct).
+        if isinstance(stmt, ast.Match):
+            self._expr(stmt.subject, facts)
+            facts.clear()
+            return facts
+        return facts
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 

@@ -7,16 +7,20 @@ Importing this package registers every rule with
 
 from __future__ import annotations
 
+from .barrier_rule import BarrierRule
 from .cachekey import CacheKeyRule
 from .determinism import DeterminismRule
+from .fpeq_rule import FloatEqualityRule
 from .resilience_rule import ResilienceHygieneRule
 from .slots_rule import SlotsHygieneRule
 from .specs import SpecConsistencyRule
 from .units_rule import UnitSafetyRule
 
 __all__ = [
+    "BarrierRule",
     "CacheKeyRule",
     "DeterminismRule",
+    "FloatEqualityRule",
     "ResilienceHygieneRule",
     "SlotsHygieneRule",
     "SpecConsistencyRule",

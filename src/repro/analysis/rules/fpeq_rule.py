@@ -1,0 +1,184 @@
+"""FPEQ — no raw float equality in the simulator or analytic model.
+
+Little's-Law audits, latency accounting, and the analytic model all
+accumulate IEEE doubles whose exact bit pattern depends on association
+order; two mathematically equal quantities routinely differ in the last
+ulp (docs/SANITIZER.md quantifies this for the sanitizer's own mirror
+audits).  A raw ``==`` / ``!=`` between floats therefore encodes a
+comparison that is *sometimes* true, which is worse than one that is
+never true.  Inside :mod:`repro.sim` and :mod:`repro.perfmodel`:
+
+* **FPEQ001** — an ``==`` or ``!=`` whose operand is provably a float:
+  a float literal, a ``float(...)`` cast, arithmetic over either, or a
+  local name the dataflow pass has proven float-valued (assigned from a
+  float expression, or annotated ``float`` as a parameter or variable).
+  Compare with a tolerance instead — ``math.isclose`` with documented
+  ``rel_tol``/``abs_tol``, or the sanitizer's published tolerances.
+
+Sanctioned tolerance helpers — functions whose name contains
+``isclose``, ``close`` or ``approx`` — are skipped wholesale: a helper
+that *implements* the tolerance comparison may need an exact-equality
+fast path (``a == b`` short-circuits ``isclose``).
+
+Float-typedness of locals rides on the same forward must-facts walker
+as the BARRIER rule (:class:`repro.analysis.core.FunctionDataflow`):
+a name is only trusted as float when every path assigns it one, so the
+rule under-reports rather than crying wolf on union-typed values.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..core import FunctionDataflow, Rule, SourceFile, Violation, iter_functions, register
+
+#: Package sub-paths the rule guards.
+_GUARDED = ("repro/sim", "repro/perfmodel")
+
+#: Substrings marking a function as a sanctioned tolerance helper.
+_SANCTIONED_MARKERS = ("isclose", "close", "approx")
+
+_EQUALITY_OPS = (ast.Eq, ast.NotEq)
+
+
+def _is_float_annotation(annotation: Optional[ast.expr]) -> bool:
+    """Does this annotation expression spell ``float``?"""
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant):  # from __future__ strings
+        return annotation.value == "float"
+    return False
+
+
+def _float_args(func: ast.FunctionDef) -> Set[object]:
+    """Entry facts: parameter names annotated ``float``."""
+    args = func.args
+    every = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    return {a.arg for a in every if _is_float_annotation(a.annotation)}
+
+
+class _FpeqFlow(FunctionDataflow):
+    """Tracks float-proven names; records raw ``==``/``!=`` on floats."""
+
+    def __init__(self) -> None:
+        self.findings: Set[Tuple[int, int, str]] = set()
+
+    # -- float-expression predicate ----------------------------------------------
+
+    def _is_float(self, node: ast.expr, facts: Set[object]) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in facts
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "float"
+        if isinstance(node, ast.UnaryOp):
+            return self._is_float(node.operand, facts)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                # True division yields float for any numeric operands.
+                return True
+            return self._is_float(node.left, facts) or self._is_float(
+                node.right, facts
+            )
+        if isinstance(node, ast.IfExp):
+            return self._is_float(node.body, facts) and self._is_float(
+                node.orelse, facts
+            )
+        return False
+
+    # -- dataflow hooks ----------------------------------------------------------
+
+    def flow_expr(self, node: ast.expr, facts: Set[object]) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            operands = [sub.left, *sub.comparators]
+            for i, op in enumerate(sub.ops):
+                if not isinstance(op, _EQUALITY_OPS):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                floaty = next(
+                    (x for x in (left, right) if self._is_float(x, facts)), None
+                )
+                if floaty is not None:
+                    spelled = "!=" if isinstance(op, ast.NotEq) else "=="
+                    self.findings.add(
+                        (
+                            sub.lineno,
+                            sub.col_offset,
+                            f"raw float {spelled} on {ast.unparse(floaty)!r} — "
+                            "accumulated doubles differ in the last ulp by "
+                            "association order; use math.isclose with explicit "
+                            "rel_tol/abs_tol (see docs/SANITIZER.md tolerances)",
+                        )
+                    )
+
+    def flow_bind(self, target: ast.expr, facts: Set[object]) -> None:
+        if isinstance(target, ast.Name):
+            facts.discard(target.id)
+
+    def flow_assignment(self, stmt: ast.stmt, facts: Set[object]) -> None:
+        if isinstance(stmt, ast.Assign):
+            if stmt.value is not None and self._is_float(stmt.value, facts):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        facts.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _is_float_annotation(stmt.annotation) or (
+                stmt.value is not None and self._is_float(stmt.value, facts)
+            ):
+                facts.add(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            if self._is_float(stmt.value, facts):
+                facts.add(stmt.target.id)
+
+
+def _sanctioned(func: ast.FunctionDef) -> bool:
+    """Tolerance helpers may use exact equality as a fast path."""
+    lowered = func.name.lower()
+    return any(marker in lowered for marker in _SANCTIONED_MARKERS)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Forbid raw ==/!= on floats in repro.sim and repro.perfmodel."""
+
+    prefix = "FPEQ"
+    name = "float-equality"
+    description = (
+        "no raw ==/!= on floats in repro.sim or repro.perfmodel outside "
+        "sanctioned tolerance helpers (FPEQ001)"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        """Simulator and analytic-model packages."""
+        posix = path.as_posix()
+        return any(part in posix for part in _GUARDED)
+
+    def check_file(self, source: SourceFile) -> Iterable[Violation]:
+        """Run the float-typedness dataflow over every scope."""
+        tree = source.tree
+        if tree is None:
+            return []
+        flow = _FpeqFlow()
+        flow.analyze(tree.body)
+        for func in iter_functions(tree):
+            if _sanctioned(func):
+                continue
+            flow.analyze(func.body, entry=_float_args(func))
+        out: List[Violation] = []
+        for line, col, message in sorted(flow.findings):
+            out.append(
+                Violation(
+                    path=str(source.path),
+                    line=line,
+                    col=col,
+                    rule_id="FPEQ001",
+                    message=message,
+                    severity=self.default_severity,
+                )
+            )
+        return out

@@ -48,6 +48,28 @@ def _apply_perf_flags(args: argparse.Namespace) -> None:
         os.environ["REPRO_RETRIES"] = str(args.retries)
     if getattr(args, "timeout_s", None) is not None:
         os.environ["REPRO_TIMEOUT_S"] = str(args.timeout_s)
+    if getattr(args, "sanitize", False):
+        from .analysis.sanitizer import configure_sanitize
+
+        # Mirrored into REPRO_SANITIZE so fan_out workers inherit it.
+        configure_sanitize(True)
+
+
+def _print_sanitizer_summary() -> None:
+    """One-line reprosan verdict when the instrumented mode is on."""
+    from .analysis.sanitizer import last_report, sanitize_enabled
+
+    if not sanitize_enabled():
+        return
+    report = last_report()
+    if report is None:
+        print("sanitizer: enabled, but no instrumented run executed")
+        return
+    queues = ", ".join(sorted(q.get("queue", "?") for q in report.queues)) or "none"
+    print(
+        f"sanitizer: {'ok' if report.ok else 'VIOLATIONS'} — "
+        f"{report.events_checked} events checked, queues audited: {queues}"
+    )
 
 
 def _print_cache_summary() -> None:
@@ -261,6 +283,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print()
     report = RoutineAnalyzer(machine).analyze_run(stats)
     print(report.render())
+    _print_sanitizer_summary()
     _print_cache_summary()
     return 0
 
@@ -327,9 +350,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
     else:
         rules = all_rules()
+    if args.ignore:
+        # get_rule validates each prefix (typos should fail loudly, not
+        # silently ignore nothing).
+        ignored = {
+            get_rule(prefix.strip()).prefix
+            for prefix in args.ignore.split(",")
+            if prefix.strip()
+        }
+        rules = tuple(rule for rule in rules if rule.prefix not in ignored)
     paths = [Path(p) for p in args.paths] if args.paths else _default_lint_paths()
     result = LintRunner(rules).run(paths)
     print(render_json(result) if args.format == "json" else render_text(result))
+    if args.strict and result.violations:
+        return 1
     return result.exit_code
 
 
@@ -413,6 +447,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-task timeout in seconds with --jobs > 1 "
         "(default: REPRO_TIMEOUT_S or none; 0 disables)",
+    )
+    perf_flags.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="reprosan instrumented mode: audit Little's Law per queue, "
+        "MSHR allocate/release balance, batch-replay equivalence, and "
+        "stats conservation during the run (same as REPRO_SANITIZE=1; "
+        "results are bit-identical but the run bypasses the sim cache)",
     )
 
     sub.add_parser("machines", help="list modeled platforms").set_defaults(
@@ -569,6 +611,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--select",
         help="comma-separated rule prefixes to run (e.g. DET,UNIT)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        help="comma-separated rule prefixes to skip (applied after --select)",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any finding, promoting warnings to build failures",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"

@@ -56,6 +56,34 @@ class TraceError(SimulationError):
     """An access trace was malformed."""
 
 
+class SanitizerError(SimulationError):
+    """A runtime invariant check of the instrumented ("reprosan") mode failed.
+
+    Carries enough structure for a report: the violated invariant's
+    identifier, the simulation time and engine event id at detection,
+    and a snapshot of the audited queue (or other relevant state).
+    ``report`` holds the full :class:`repro.analysis.sanitizer.SanitizerReport`
+    when the failure was raised at finalize time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str,
+        time_ns: float = 0.0,
+        event_id: int = 0,
+        snapshot: object = None,
+        report: object = None,
+    ) -> None:
+        self.invariant = invariant
+        self.time_ns = time_ns
+        self.event_id = event_id
+        self.snapshot = snapshot
+        self.report = report
+        super().__init__(f"[{invariant}] {message}")
+
+
 class StationarityError(ReproError):
     """Little's law was applied to a non-stationary (whole-program) window.
 

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from .. import __version__
+from ..analysis.sanitizer import sanitize_enabled
 from ..errors import CacheKeyError
 from ..sim.coltrace import AnyTrace, trace_digest
 from ..sim.hierarchy import SimConfig, run_trace
@@ -336,7 +337,17 @@ def cached_run_trace(
     stored :class:`~repro.sim.stats.SimStats` (same counters, same
     occupancy integrals), a miss simulates and stores.  Inputs that
     cannot be digested fall back to plain simulation.
+
+    Sanitized runs (``REPRO_SANITIZE=1``) are cache-inert: the whole
+    point of the mode is to *execute* the simulator under instrumented
+    invariant checks, so a sanitized run neither replays a stored
+    result nor stores its own — the cache's contents stay exactly what
+    unsanitized runs produced.
     """
+    if sanitize_enabled():
+        return run_trace(
+            trace, config, latency_model=latency_model, max_events=max_events
+        )
     handle = cache if cache is not None else get_cache()
     if not handle.enabled:
         return run_trace(

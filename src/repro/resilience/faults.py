@@ -14,6 +14,7 @@ Spec grammar (``REPRO_FAULTS`` or :func:`configure_faults`)::
     param     := name '=' value
     kind      := worker_kill | task_hang | cache_corrupt | cache_truncate
                | trace_corrupt | trace_truncate | counter_drop | counter_nan
+               | mshr_leak | time_skew | replay_skip
 
 Common params: ``p`` (firing probability per site, default ``1.0``) and
 ``seed`` (default ``0``).  ``task_hang`` also takes ``s`` (hang seconds,
@@ -61,6 +62,10 @@ __all__ = [
 ]
 
 #: Every fault kind the harness knows how to inject.
+#: The last three are *sanitizer-visible* simulator faults: each plants
+#: a bug whose only witness is a reprosan invariant (``mshr_leak`` ->
+#: mshr-balance, ``time_skew`` -> littles-law, ``replay_skip`` ->
+#: batch-replay), proving the sanitizer catches real corruption.
 FAULT_KINDS = (
     "worker_kill",
     "task_hang",
@@ -70,6 +75,9 @@ FAULT_KINDS = (
     "trace_truncate",
     "counter_drop",
     "counter_nan",
+    "mshr_leak",
+    "time_skew",
+    "replay_skip",
 )
 
 #: Exit status used by injected worker kills (distinctive in CI logs).

@@ -40,6 +40,9 @@ class CacheArray:
         "fills",
         "evictions",
         "dirty_evictions",
+        "_sanitizer",
+        "_faults",
+        "_flushes",
     )
 
     def __init__(self, spec: CacheSpec, name: str) -> None:
@@ -62,6 +65,15 @@ class CacheArray:
         self.fills = 0
         self.evictions = 0
         self.dirty_evictions = 0
+        #: Optional sanitizer replay checker (set by RunSanitizer).
+        self._sanitizer = None
+        self._flushes = 0
+        # replay_skip is resolved once per array (flush is on the batch
+        # hot path); see MshrFile for the same pattern.
+        from ..resilience.faults import get_injector
+
+        injector = get_injector()
+        self._faults = injector if injector.armed("replay_skip") else None
 
     def line_of(self, addr: int) -> int:
         """Line address (aligned) containing byte ``addr``."""
@@ -169,6 +181,8 @@ class CacheArray:
         :meth:`flush_batch`.
         """
         if len(line_addrs):
+            if self._sanitizer is not None:
+                self._sanitizer.on_touch(line_addrs, writes)
             self._pending.append((line_addrs, writes))
 
     def flush_batch(self) -> None:
@@ -177,6 +191,18 @@ class CacheArray:
             return
         pending = self._pending
         self._pending = []
+        self._flushes += 1
+        if self._faults is not None and self._faults.fires(
+            "replay_skip", f"{self.name}:{self._flushes}"
+        ):
+            # Injected replay bug: silently drop the first queued run,
+            # so the aggregate replay no longer matches a scalar
+            # re-execution of the recorded touches.
+            pending = pending[1:]
+            if not pending:
+                if self._sanitizer is not None:
+                    self._sanitizer.on_flush()
+                return
         if len(pending) == 1:
             line_addrs, writes = pending[0]
         else:
@@ -216,6 +242,8 @@ class CacheArray:
                 (line, old_dirty[line] or line in written) for line in lines_in_set
             )
             self._sets[set_idx] = kept
+        if self._sanitizer is not None:
+            self._sanitizer.on_flush()
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line if present; returns whether it was present."""

@@ -94,6 +94,7 @@ class ThreadDriver:
         "_writes_arr",
         "_gap_arr",
         "_gaps_ns_arr",
+        "_san",
     )
 
     def __init__(
@@ -132,6 +133,7 @@ class ThreadDriver:
         self._batch = hierarchy.batch_enabled
         self._skip_until = 0
         self._l1_hit_ns = hierarchy.l1_hit_ns
+        self._san = hierarchy.sanitizer
         if self._batch:
             core = hierarchy.cores[context.core_id]
             self._addr_arr = addr_arr
@@ -199,6 +201,8 @@ class ThreadDriver:
 
         self.core_stats.issued_accesses += 1
         self.core_stats.compute_cycles += self._gaps[i]
+        if self._san is not None:
+            self._san.scalar_issued += 1
         if is_demand:
             ctx.in_flight += 1
         ctx.next_idx = i + 1
@@ -258,6 +262,8 @@ class ThreadDriver:
         stats = hierarchy.stats
         stats.l1.hits += k
         stats.batch_accesses += k
+        if self._san is not None:
+            self._san.batch_issued += k
         core_stats = self.core_stats
         core_stats.issued_accesses += k
         # Chained left-to-right adds via cumsum: bit-identical to the

@@ -23,11 +23,13 @@ from ..errors import SimulationError
 
 Callback = Callable[[], None]
 
+_INF = float("inf")
+
 
 class Engine:
     """Deterministic discrete-event loop with ns time."""
 
-    __slots__ = ("_queue", "_seq", "_now", "_running", "_events_fired")
+    __slots__ = ("_queue", "_seq", "_now", "_running", "_events_fired", "_sanitizer")
 
     def __init__(self) -> None:
         self._queue: List[Tuple[float, int, Callback]] = []
@@ -35,6 +37,9 @@ class Engine:
         self._now = 0.0
         self._running = False
         self._events_fired = 0
+        #: Optional :class:`repro.analysis.sanitizer.RunSanitizer` hook;
+        #: when set, every fired event's time is invariant-checked.
+        self._sanitizer = None
 
     @property
     def now(self) -> float:
@@ -48,9 +53,10 @@ class Engine:
 
     def schedule(self, delay_ns: float, callback: Callback) -> None:
         """Schedule ``callback`` to run ``delay_ns`` from now."""
-        # `not (x >= 0)` also catches NaN, which would otherwise slip
-        # through a `< 0` check and poison the heap's tie-ordering.
-        if not delay_ns >= 0:
+        # The chained compare rejects NaN (both sides false), negatives,
+        # and +inf in one branch; any of them would poison the heap's
+        # time ordering or park an event at the end of time.
+        if not (0.0 <= delay_ns < _INF):
             raise SimulationError(
                 f"cannot schedule with non-finite or negative delay: {delay_ns}"
             )
@@ -60,7 +66,7 @@ class Engine:
 
     def schedule_at(self, time_ns: float, callback: Callback) -> None:
         """Schedule ``callback`` at absolute time ``time_ns``."""
-        if not time_ns >= self._now:
+        if not (self._now <= time_ns < _INF):
             raise SimulationError(
                 f"cannot schedule at {time_ns} before now ({self._now})"
             )
@@ -86,6 +92,7 @@ class Engine:
         queue = self._queue
         pop = heappop
         events = self._events_fired
+        sanitizer = self._sanitizer
         try:
             while queue:
                 head = queue[0]
@@ -100,6 +107,8 @@ class Engine:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a scheduling loop"
                     )
+                if sanitizer is not None:
+                    sanitizer.on_event(time_ns, events)
                 head[2]()
         finally:
             self._events_fired = events

@@ -68,6 +68,9 @@ class MemoryController:
         "_next_free_ns",
         "_recent",
         "_recent_bytes",
+        "_audit",
+        "_faults",
+        "_req_seq",
     )
 
     def __init__(
@@ -97,6 +100,15 @@ class MemoryController:
         self._next_free_ns = 0.0
         self._recent: Deque[Tuple[float, int]] = deque()  # (admit time, bytes)
         self._recent_bytes = 0
+        #: Optional sanitizer hook (the RunSanitizer; set when armed).
+        self._audit = None
+        self._req_seq = 0
+        # time_skew resolution mirrors MshrFile: decided once at
+        # construction so the per-request path stays a None check.
+        from ..resilience.faults import get_injector
+
+        injector = get_injector()
+        self._faults = injector if injector.armed("time_skew") else None
 
     # -- utilization estimate ----------------------------------------------------
 
@@ -141,6 +153,22 @@ class MemoryController:
         now = self.engine.now
         admit = max(now, self._next_free_ns)
         self._next_free_ns = admit + self.slot_ns
+        seq = self._req_seq
+        self._req_seq = seq + 1
+
+        audit = self._audit
+        if audit is not None:
+            # Audit the full system time (arrival -> completion); the
+            # wrap observes only — the schedule calls below are
+            # unchanged, so event ordering and the fingerprint are too.
+            audit.memctrl_enter(now, seq, "request")
+            inner_complete = on_complete
+
+            def _audited_complete() -> None:
+                audit.memctrl_exit(self.engine.now, seq)
+                inner_complete()
+
+            on_complete = _audited_complete
 
         def _admit() -> None:
             t = self.engine.now
@@ -153,7 +181,17 @@ class MemoryController:
             else:
                 self.stats.demand_read_bytes += self.line_bytes
             self.stats.requests += 1
-            self.stats.latency_sum_ns += latency + (admit - now)
+            recorded = latency
+            if self._faults is not None and self._faults.fires(
+                "time_skew", str(seq)
+            ):
+                # Injected telemetry skew: the *recorded* latency drifts
+                # from the physical one the completion is scheduled
+                # with, so occupancy no longer equals rate x latency.
+                recorded = latency * (
+                    1.0 + self._faults.param("time_skew", "skew", 0.5)
+                )
+            self.stats.latency_sum_ns += recorded + (admit - now)
             self.stats.latency_count += 1
             self.engine.schedule(latency, on_complete)
 
@@ -164,6 +202,10 @@ class MemoryController:
         now = self.engine.now
         admit = max(now, self._next_free_ns)
         self._next_free_ns = admit + self.slot_ns
+
+        audit = self._audit
+        if audit is not None:
+            audit.writebacks += 1
 
         def _admit() -> None:
             self._note_admission(self.engine.now, self.line_bytes)

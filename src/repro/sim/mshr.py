@@ -55,6 +55,8 @@ class MshrFile:
         "_free_waiters",
         "allocations",
         "merges",
+        "_audit",
+        "_faults",
     )
 
     def __init__(self, name: str, capacity: int) -> None:
@@ -67,6 +69,15 @@ class MshrFile:
         self._free_waiters: List[Callable[[], None]] = []
         self.allocations = 0
         self.merges = 0
+        #: Optional sanitizer QueueAudit (set by RunSanitizer).
+        self._audit = None
+        # The mshr_leak fault is resolved once per file: release() is a
+        # hot path, so the armed-or-not decision must not re-consult the
+        # global injector per call.
+        from ..resilience.faults import get_injector
+
+        injector = get_injector()
+        self._faults = injector if injector.armed("mshr_leak") else None
 
     # -- queries ---------------------------------------------------------------
 
@@ -100,6 +111,8 @@ class MshrFile:
         self.tracker.add(now_ns, +1)
         self.entries[line_addr] = entry
         self.allocations += 1
+        if self._audit is not None:
+            self._audit.enter(now_ns, line_addr)
         return entry
 
     def merge(
@@ -122,12 +135,23 @@ class MshrFile:
 
         Also wakes anyone blocked on a full file (core issue stalls).
         """
+        if self._faults is not None and self._faults.fires(
+            "mshr_leak", f"{self.name}:{line_addr:#x}"
+        ):
+            # Injected leak: hand the entry back (fills still propagate)
+            # but skip every piece of release bookkeeping — the entry
+            # stays resident, the tracker and audit never see the exit.
+            entry = self.entries.get(line_addr)
+            if entry is not None:
+                return entry
         entry = self.entries.pop(line_addr, None)
         if entry is None:
             raise SimulationError(
                 f"{self.name}: release with no entry for {line_addr:#x}"
             )
         self.tracker.add(now_ns, -1)
+        if self._audit is not None:
+            self._audit.exit(now_ns, line_addr)
         if self._free_waiters:
             waiters, self._free_waiters = self._free_waiters, []
             for waiter in waiters:

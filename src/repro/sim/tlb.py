@@ -64,6 +64,8 @@ class Tlb:
         # runs queue here and replay in one pass via flush_batch().
         self._pending: List[np.ndarray] = []
         self.stats = TlbStats()
+        #: Optional sanitizer replay checker (set by RunSanitizer).
+        self._sanitizer = None
 
     def page_of(self, addr: int) -> int:
         """Page number containing byte ``addr``."""
@@ -126,6 +128,8 @@ class Tlb:
         or explicit :meth:`flush_batch`; hit counts post immediately.
         """
         if len(addrs):
+            if self._sanitizer is not None:
+                self._sanitizer.on_touch(addrs)
             self._pending.append(addrs)
             self.stats.hits += len(addrs)
 
@@ -147,6 +151,8 @@ class Tlb:
                 f"{sorted(touched - set(self._pages))}"
             )
         self._pages = kept + last_order
+        if self._sanitizer is not None:
+            self._sanitizer.on_flush()
 
     def pte_address(self, addr: int, *, pte_region_base: int = 1 << 44) -> int:
         """Synthetic leaf-PTE address for the page containing ``addr``.

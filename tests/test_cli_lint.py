@@ -67,3 +67,63 @@ def test_lint_clean_file_exits_zero(tmp_path, capsys):
     clean.write_text("x = 1\n")
     assert main(["lint", str(clean)]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_lint_ignore_rules(tmp_path, capsys):
+    target = _seed_violations(tmp_path)
+    # Ignoring DET leaves only the UNIT001 finding.
+    assert main(["lint", "--ignore", "DET", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "UNIT001" in out
+    assert "DET001" not in out and "DET002" not in out
+    # Ignoring everything the fixture trips yields a clean run.
+    assert main(["lint", "--ignore", "DET,UNIT", str(target)]) == 0
+
+
+def test_lint_ignore_applies_after_select(tmp_path, capsys):
+    target = _seed_violations(tmp_path)
+    assert main(["lint", "--select", "DET,UNIT", "--ignore", "det", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "UNIT001" in out
+    assert "DET001" not in out
+
+
+def test_lint_strict_promotes_warnings(capsys):
+    # The repo's future-machines file carries SPEC003 warning-severity
+    # findings (MSHR-bound by design): exit 0 normally, 1 under --strict.
+    target = "src/repro/machines/future.py"
+    assert main(["lint", "--select", "SPEC", target]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--select", "SPEC", "--strict", target]) == 1
+    assert "SPEC003" in capsys.readouterr().out
+
+
+def test_lint_strict_clean_tree_still_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", "--strict", str(clean)]) == 0
+
+
+def test_lint_json_round_trip(tmp_path):
+    """The JSON document reconstructs the exact violation set."""
+    from pathlib import Path
+
+    from repro.analysis import LintRunner, Severity, Violation, to_json_doc
+
+    result = LintRunner().run([Path(_seed_violations(tmp_path))])
+    assert result.violations
+    doc = json.loads(json.dumps(to_json_doc(result)))
+    rebuilt = [
+        Violation(
+            path=v["path"],
+            line=v["line"],
+            col=v["col"],
+            rule_id=v["rule_id"],
+            message=v["message"],
+            severity=Severity(v["severity"]),
+        )
+        for v in doc["violations"]
+    ]
+    assert rebuilt == result.violations
+    assert doc["error_count"] == len(result.errors)
+    assert doc["violation_count"] == len(result.violations)

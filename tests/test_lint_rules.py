@@ -511,3 +511,293 @@ class TestResilienceHygieneRule:
             "    pass\n"
         )
         assert _lint("RES", self.LIB, text).violations == []
+
+
+class TestBarrierRule:
+    def test_flushed_probe_passes(self):
+        text = (
+            "def train(core, line):\n"
+            "    core.l2_array.flush_batch()\n"
+            "    for t in core.pf.observe(line):\n"
+            "        if core.l2_array.probe(t):\n"
+            "            return t\n"
+            "    return None\n"
+        )
+        assert _lint("BARRIER", SIM / "h.py", text).violations == []
+
+    def test_unflushed_probe_flagged(self):
+        text = (
+            "def train(core, line):\n"
+            "    for t in core.pf.observe(line):\n"
+            "        if core.l2_array.probe(t):\n"
+            "            return t\n"
+            "    return None\n"
+        )
+        result = _lint("BARRIER", SIM / "h.py", text)
+        assert [v.rule_id for v in result.violations] == ["BARRIER001"]
+        assert "flush_batch" in result.violations[0].message
+        assert result.exit_code == 1
+
+    def test_flush_on_one_branch_only_flagged(self):
+        # Must-analysis: a flush under `if` does not guard the join.
+        text = (
+            "def peek(core, flag, t):\n"
+            "    if flag:\n"
+            "        core.l1_array.flush_batch()\n"
+            "    return core.l1_array.probe(t)\n"
+        )
+        assert [
+            v.rule_id for v in _lint("BARRIER", SIM / "h.py", text).violations
+        ] == ["BARRIER001"]
+
+    def test_flush_on_both_branches_passes(self):
+        text = (
+            "def peek(core, flag, t):\n"
+            "    if flag:\n"
+            "        core.l1_array.flush_batch()\n"
+            "    else:\n"
+            "        core.l1_array.flush_batch()\n"
+            "    return core.l1_array.probe(t)\n"
+        )
+        assert _lint("BARRIER", SIM / "h.py", text).violations == []
+
+    def test_touch_batch_kills_the_barrier(self):
+        text = (
+            "def stale(core, lines, writes, t):\n"
+            "    core.l1_array.flush_batch()\n"
+            "    core.l1_array.touch_batch(lines, writes)\n"
+            "    return core.l1_array.probe(t)\n"
+        )
+        assert [
+            v.rule_id for v in _lint("BARRIER", SIM / "h.py", text).violations
+        ] == ["BARRIER001"]
+
+    def test_self_flushing_mutators_count_as_barriers(self):
+        text = (
+            "def warm(core, line, t):\n"
+            "    core.l1_array.access(line)\n"
+            "    return core.l1_array.probe(t)\n"
+        )
+        assert _lint("BARRIER", SIM / "h.py", text).violations == []
+
+    def test_probe_batch_exempt(self):
+        text = (
+            "def fast(core, lines):\n"
+            "    return core.l1_array.probe_batch(lines)\n"
+        )
+        assert _lint("BARRIER", SIM / "h.py", text).violations == []
+
+    def test_resident_reads_guarded(self):
+        text = (
+            "def count(core):\n"
+            "    return core.l1_array.resident_lines() + core.tlb.resident_pages\n"
+        )
+        result = _lint("BARRIER", SIM / "h.py", text)
+        assert [v.rule_id for v in result.violations] == ["BARRIER001"] * 2
+
+    def test_batch_machinery_files_exempt(self):
+        text = (
+            "def probe(self, t):\n"
+            "    return self._sets[0]\n"
+        )
+        assert _lint("BARRIER", SIM / "cache.py", text).violations == []
+        assert _lint("BARRIER", SIM / "tlb.py", text).violations == []
+        assert (
+            _lint("BARRIER", Path("src/repro/core/x.py"), text).violations == []
+        )
+
+    def test_rebinding_receiver_root_kills(self):
+        text = (
+            "def swap(core, other, t):\n"
+            "    core.l1_array.flush_batch()\n"
+            "    core = other\n"
+            "    return core.l1_array.probe(t)\n"
+        )
+        assert [
+            v.rule_id for v in _lint("BARRIER", SIM / "h.py", text).violations
+        ] == ["BARRIER001"]
+
+    def test_noqa_suppresses(self):
+        text = (
+            "def peek(core, t):\n"
+            "    return core.l1_array.probe(t)  # repro: noqa[BARRIER001]\n"
+        )
+        assert _lint("BARRIER", SIM / "h.py", text).violations == []
+
+
+class TestFloatEqualityRule:
+    def test_int_equality_passes(self):
+        text = (
+            "def check(n):\n"
+            "    k = 3\n"
+            "    return n == k or n != 7\n"
+        )
+        assert _lint("FPEQ", SIM / "m.py", text).violations == []
+
+    def test_float_literal_equality_flagged(self):
+        result = _lint("FPEQ", SIM / "m.py", "ok = x == 1.5\n")
+        assert [v.rule_id for v in result.violations] == ["FPEQ001"]
+        assert "isclose" in result.violations[0].message
+
+    def test_float_local_tracked_through_dataflow(self):
+        text = (
+            "def drift(y):\n"
+            "    z = 1.0\n"
+            "    while z != y:\n"
+            "        z = z / 2\n"
+            "    return z\n"
+        )
+        assert [
+            v.rule_id for v in _lint("FPEQ", SIM / "m.py", text).violations
+        ] == ["FPEQ001"]
+
+    def test_float_annotated_param_flagged(self):
+        text = (
+            "def same(a: float, b):\n"
+            "    return a == b\n"
+        )
+        assert [
+            v.rule_id for v in _lint("FPEQ", SIM / "m.py", text).violations
+        ] == ["FPEQ001"]
+
+    def test_rebound_to_int_forgets_floatness(self):
+        text = (
+            "def f(y):\n"
+            "    z = 1.0\n"
+            "    z = 3\n"
+            "    return z == y\n"
+        )
+        assert _lint("FPEQ", SIM / "m.py", text).violations == []
+
+    def test_ordering_comparisons_pass(self):
+        text = "def f(x: float):\n    return x < 1.0 or x >= 0.5\n"
+        assert _lint("FPEQ", SIM / "m.py", text).violations == []
+
+    def test_division_result_flagged(self):
+        text = "def f(a, b, c):\n    return a / b == c\n"
+        assert [
+            v.rule_id for v in _lint("FPEQ", SIM / "m.py", text).violations
+        ] == ["FPEQ001"]
+
+    def test_sanctioned_helper_exempt(self):
+        text = (
+            "def isclose_fast(a: float, b: float) -> bool:\n"
+            "    return a == b or abs(a - b) < 1e-12\n"
+        )
+        assert _lint("FPEQ", SIM / "m.py", text).violations == []
+
+    def test_perfmodel_in_scope_elsewhere_not(self):
+        text = "ok = x == 1.5\n"
+        flagged = _lint("FPEQ", Path("src/repro/perfmodel/m.py"), text)
+        assert [v.rule_id for v in flagged.violations] == ["FPEQ001"]
+        assert (
+            _lint("FPEQ", Path("src/repro/core/m.py"), text).violations == []
+        )
+
+
+class TestFunctionDataflow:
+    """The shared must-facts walker, driven directly."""
+
+    @staticmethod
+    def _run(text):
+        import ast
+
+        from repro.analysis import FunctionDataflow
+
+        class Gen(FunctionDataflow):
+            """gen('x') on gen(...) calls, kill on rebinds, log reads."""
+
+            def __init__(self):
+                self.reads = []
+
+            def flow_expr(self, node, facts):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Name
+                    ):
+                        if sub.func.id == "gen" and sub.args:
+                            facts.add(sub.args[0].value)
+                        elif sub.func.id == "read" and sub.args:
+                            self.reads.append(
+                                (sub.args[0].value, sub.args[0].value in facts)
+                            )
+
+            def flow_bind(self, target, facts):
+                if isinstance(target, ast.Name):
+                    facts.discard(target.id)
+
+        flow = Gen()
+        tree = ast.parse(text)
+        exit_facts = flow.analyze(tree.body)
+        return flow, exit_facts
+
+    def test_straight_line_facts_flow(self):
+        flow, exit_facts = self._run("gen('a')\nread('a')\nread('b')\n")
+        assert flow.reads == [("a", True), ("b", False)]
+        assert "a" in exit_facts
+
+    def test_branches_intersect(self):
+        text = (
+            "if cond:\n"
+            "    gen('a')\n"
+            "    gen('b')\n"
+            "else:\n"
+            "    gen('a')\n"
+            "read('a')\n"
+            "read('b')\n"
+        )
+        flow, _ = self._run(text)
+        assert ("a", True) in flow.reads
+        assert ("b", False) in flow.reads
+
+    def test_terminated_branch_does_not_dilute(self):
+        text = (
+            "if cond:\n"
+            "    raise ValueError\n"
+            "else:\n"
+            "    gen('a')\n"
+            "read('a')\n"
+        )
+        flow, _ = self._run(text)
+        assert flow.reads == [("a", True)]
+
+    def test_loop_body_facts_survive_iterations(self):
+        text = (
+            "gen('a')\n"
+            "for i in items:\n"
+            "    read('a')\n"
+        )
+        flow, _ = self._run(text)
+        assert set(flow.reads) == {("a", True)}
+
+    def test_loop_killed_fact_unavailable_second_pass(self):
+        text = (
+            "gen('a')\n"
+            "for a in items:\n"
+            "    read('a')\n"
+        )
+        flow, _ = self._run(text)
+        # The loop variable rebind kills 'a' for every later iteration.
+        assert ("a", False) in flow.reads
+
+    def test_except_handler_starts_clean(self):
+        text = (
+            "gen('a')\n"
+            "try:\n"
+            "    work()\n"
+            "except ValueError:\n"
+            "    read('a')\n"
+        )
+        flow, _ = self._run(text)
+        assert flow.reads == [("a", False)]
+
+    def test_break_state_joins_after_loop(self):
+        text = (
+            "gen('a')\n"
+            "while cond:\n"
+            "    del a\n"
+            "    break\n"
+            "read('a')\n"
+        )
+        flow, _ = self._run(text)
+        assert flow.reads == [("a", False)]

@@ -23,13 +23,16 @@ ACCESSES = 400
 
 
 @pytest.fixture(autouse=True)
-def _fault_free_baseline():
+def _fault_free_baseline(monkeypatch):
     """This file asserts exact hit/miss counts: park any ambient
-    ``REPRO_FAULTS`` spec (CI fault leg) and restore it afterwards."""
+    ``REPRO_FAULTS`` spec (CI fault leg) and restore it afterwards.
+    Likewise pin unsanitized mode — sanitized runs bypass the cache by
+    contract (docs/SANITIZER.md), which would zero every counter here."""
     import os
 
     from repro.resilience import configure_faults
 
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
     ambient = os.environ.get("REPRO_FAULTS")
     configure_faults(None)
     yield

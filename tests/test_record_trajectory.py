@@ -1,0 +1,74 @@
+"""The trajectory recorder's history handling (benchmarks/record_trajectory.py).
+
+Only the cheap persistence layer is tested — ``load_history`` /
+``append_point`` — not the measurement functions (those simulate for
+seconds and are exercised by the CI benchmark leg).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "record_trajectory.py"
+)
+
+
+@pytest.fixture(scope="module")
+def recorder():
+    spec = importlib.util.spec_from_file_location("record_trajectory", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_missing_file_starts_fresh(recorder, tmp_path):
+    assert recorder.load_history(tmp_path / "absent.json") == []
+
+
+def test_valid_history_preserved(recorder, tmp_path):
+    path = tmp_path / "bench.json"
+    history = [{"schema_version": 1, "git_sha": "abc"}]
+    path.write_text(json.dumps(history))
+    assert recorder.load_history(path) == history
+
+
+def test_corrupt_json_warns_and_starts_fresh(recorder, tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    path.write_text("{not json at all")
+    assert recorder.load_history(path) == []
+    err = capsys.readouterr().err
+    assert "warning" in err and "fresh trajectory" in err
+    # The damaged original is preserved, not destroyed.
+    backup = path.with_suffix(".json.corrupt")
+    assert backup.exists() and backup.read_text() == "{not json at all"
+    assert not path.exists()
+
+
+def test_non_list_payload_warns_and_starts_fresh(recorder, tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"oops": "a dict"}))
+    assert recorder.load_history(path) == []
+    assert "not a JSON list" in capsys.readouterr().err
+
+
+def test_append_point_accumulates(recorder, tmp_path):
+    path = tmp_path / "bench.json"
+    recorder.append_point(path, {"schema_version": recorder.SCHEMA_VERSION, "n": 1})
+    recorder.append_point(path, {"schema_version": recorder.SCHEMA_VERSION, "n": 2})
+    history = json.loads(path.read_text())
+    assert [entry["n"] for entry in history] == [1, 2]
+    assert all(
+        entry["schema_version"] == recorder.SCHEMA_VERSION for entry in history
+    )
+
+
+def test_append_point_recovers_from_corruption(recorder, tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    path.write_text("\x00\x01 garbage")
+    recorder.append_point(path, {"n": 1})
+    capsys.readouterr()
+    assert json.loads(path.read_text()) == [{"n": 1}]

@@ -1,21 +1,26 @@
-"""Record one simulator-throughput trajectory point.
+"""Record per-bench performance-trajectory points.
 
-Appends a snapshot of the repo's headline performance numbers to
-``BENCH_sim_throughput.json`` at the repo root.  The file holds a JSON
-list; each run appends one record (never overwrites), so it accumulates
-a throughput trajectory across commits.  Each record captures:
+Each named bench appends a snapshot of its headline numbers to
+``BENCH_<name>.json`` at the repo root.  Every file holds a JSON list;
+each run appends one record (never overwrites), so the files accumulate
+performance trajectories across commits.  Registered benches:
 
-* per-machine event-engine throughput (events/sec) on the standard
-  X-Mem load workload;
-* columnar trace-generation throughput (accesses/sec);
-* warm content-addressed-cache replay speedup over re-simulation;
-* batch-stepping fast-path speedup (accesses/sec ratio, hit-heavy
-  workload) with its fingerprint-equality check;
-* git SHA and UTC date for provenance.
+* ``sim_throughput`` — per-machine event-engine throughput (events/sec)
+  on the standard X-Mem load workload, columnar trace-generation
+  throughput, warm content-addressed-cache replay speedup, and the
+  batch-stepping fast-path speedup with its fingerprint-equality check;
+* ``analytic_speedup`` — the closed-form queueing fast path
+  (``characterize --fast``): per-machine wall time of an analytic
+  profile vs an uncached event-engine characterization sweep, and the
+  resulting speedup factor.
+
+Every record carries the git SHA and UTC date for provenance.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_trajectory.py
+    PYTHONPATH=src python benchmarks/record_trajectory.py [bench ...]
+
+With no arguments every registered bench is recorded.
 """
 
 from __future__ import annotations
@@ -27,15 +32,20 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_sim_throughput.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.machines import get_machine  # noqa: E402
+from repro.machines.registry import paper_machines  # noqa: E402
 from repro.perf.cache import SimCache, cached_run_trace  # noqa: E402
+from repro.perfmodel.queueing import (  # noqa: E402
+    analytic_profile,
+    calibrate_from_probes,
+)
 from repro.sim import SimConfig, run_trace  # noqa: E402
 from repro.sim.coltrace import ColumnarThreadTrace, ColumnarTrace  # noqa: E402
 from repro.workloads.generators import random_updates  # noqa: E402
 from repro.xmem.kernels import resident_trace, throughput_trace  # noqa: E402
+from repro.xmem.runner import XMemConfig, XMemRunner  # noqa: E402
 
 MACHINES = ("skl", "knl", "a64fx")
 THREADS = 4
@@ -43,6 +53,15 @@ ACCESSES = 4000
 
 #: Bumped when a record's shape changes; readers can dispatch on it.
 SCHEMA_VERSION = 2
+
+
+def out_path(bench: str) -> Path:
+    """Trajectory file for one named bench (``BENCH_<name>.json``)."""
+    return REPO_ROOT / f"BENCH_{bench}.json"
+
+
+#: Back-compat alias: the original single-bench output location.
+OUT_PATH = out_path("sim_throughput")
 
 
 def _git_sha() -> str:
@@ -121,6 +140,62 @@ def _batch_speedup() -> dict:
     }
 
 
+def _analytic_speedup() -> dict:
+    """Closed-form fast path vs uncached event-engine characterization.
+
+    Per paper machine: wall time of one full ``--fast`` answer (probe
+    calibration cached, so what a warm query costs) against one uncached
+    event-engine X-Mem sweep — the exact work ``characterize --fast``
+    replaces.
+    """
+    import tempfile
+
+    per_machine = {}
+    config = XMemConfig(levels=6, accesses_per_thread=1500, batch=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SimCache(Path(tmp), enabled=True)
+        for machine in paper_machines():
+            params = calibrate_from_probes(
+                machine,
+                sim_cores=config.sim_cores,
+                accesses_per_thread=config.accesses_per_thread,
+                cache=cache,
+            )
+            start = time.perf_counter()
+            analytic_profile(machine, params)
+            fast_s = time.perf_counter() - start
+            runner = XMemRunner(machine, config)
+            sim_s = _uncached_sweep_seconds(runner)
+            per_machine[machine.name] = {
+                "fast_s": fast_s,
+                "sim_s": sim_s,
+                "speedup": sim_s / fast_s if fast_s > 0 else float("inf"),
+            }
+    return per_machine
+
+
+def _uncached_sweep_seconds(runner: XMemRunner) -> float:
+    """Wall seconds for one event-engine characterization, cache-inert."""
+    from repro.perf.cache import configure_cache
+    import os
+
+    saved_dir = os.environ.get("REPRO_CACHE_DIR")
+    saved_enabled = os.environ.get("REPRO_CACHE")
+    configure_cache(enabled=False)
+    try:
+        start = time.perf_counter()
+        runner.characterize()
+        return time.perf_counter() - start
+    finally:
+        if saved_dir is not None:
+            os.environ["REPRO_CACHE_DIR"] = saved_dir
+        if saved_enabled is not None:
+            os.environ["REPRO_CACHE"] = saved_enabled
+        else:
+            os.environ.pop("REPRO_CACHE", None)
+        configure_cache(enabled=True)
+
+
 def load_history(path: Path) -> list:
     """The existing trajectory, or a fresh one if the file is unusable.
 
@@ -161,34 +236,79 @@ def append_point(path: Path, entry: dict) -> None:
     path.write_text(json.dumps(history, indent=2) + "\n")
 
 
-def record() -> dict:
-    """Measure one trajectory point and append it to the JSON file."""
+def _provenance() -> dict:
+    """The fields every bench record shares."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _record_sim_throughput() -> dict:
+    """Measure one ``sim_throughput`` trajectory record."""
     import tempfile
 
     with tempfile.TemporaryDirectory() as tmp:
         warm_speedup = _warm_cache_speedup(Path(tmp))
-    entry = {
-        "schema_version": SCHEMA_VERSION,
-        "git_sha": _git_sha(),
-        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    return {
+        **_provenance(),
         "events_per_sec": {m: _events_per_sec(m) for m in MACHINES},
         "trace_gen_accesses_per_sec": _gen_throughput(),
         "warm_cache_speedup": warm_speedup,
         "batch": _batch_speedup(),
     }
-    append_point(OUT_PATH, entry)
-    return entry
+
+
+def _record_analytic_speedup() -> dict:
+    """Measure one ``analytic_speedup`` trajectory record."""
+    return {**_provenance(), "machines": _analytic_speedup()}
+
+
+#: Registered benches: name -> zero-arg measurement function.
+BENCHES = {
+    "sim_throughput": _record_sim_throughput,
+    "analytic_speedup": _record_analytic_speedup,
+}
+
+
+def record(benches=None) -> dict:
+    """Measure the named benches (default: all) and append their points."""
+    entries = {}
+    for name in benches or sorted(BENCHES):
+        if name not in BENCHES:
+            raise SystemExit(
+                f"unknown bench {name!r}; registered: {', '.join(sorted(BENCHES))}"
+            )
+        entry = BENCHES[name]()
+        append_point(out_path(name), entry)
+        entries[name] = entry
+    return entries
+
+
+def _summarize(name: str, entry: dict) -> None:
+    """Print one bench record's headline numbers."""
+    print(f"recorded {name} point {entry['git_sha'][:12]} -> {out_path(name).name}")
+    if name == "sim_throughput":
+        for mname, eps in entry["events_per_sec"].items():
+            print(f"  {mname}: {eps / 1e3:.0f}k events/s")
+        print(
+            f"  trace gen: {entry['trace_gen_accesses_per_sec'] / 1e6:.1f}M acc/s"
+        )
+        print(f"  warm cache replay: {entry['warm_cache_speedup']:.0f}x")
+        batch = entry["batch"]
+        print(
+            f"  batch fast path: {batch['speedup']:.1f}x "
+            f"(fingerprint equal: {batch['fingerprint_equal']})"
+        )
+    elif name == "analytic_speedup":
+        for mname, row in entry["machines"].items():
+            print(
+                f"  {mname}: analytic {row['fast_s'] * 1e3:.1f} ms vs "
+                f"sim {row['sim_s']:.2f} s = {row['speedup']:.0f}x"
+            )
 
 
 if __name__ == "__main__":
-    point = record()
-    batch = point["batch"]
-    print(f"recorded trajectory point {point['git_sha'][:12]} -> {OUT_PATH}")
-    for name, eps in point["events_per_sec"].items():
-        print(f"  {name}: {eps / 1e3:.0f}k events/s")
-    print(f"  trace gen: {point['trace_gen_accesses_per_sec'] / 1e6:.1f}M acc/s")
-    print(f"  warm cache replay: {point['warm_cache_speedup']:.0f}x")
-    print(
-        f"  batch fast path: {batch['speedup']:.1f}x "
-        f"(fingerprint equal: {batch['fingerprint_equal']})"
-    )
+    for bench_name, bench_entry in record(sys.argv[1:] or None).items():
+        _summarize(bench_name, bench_entry)

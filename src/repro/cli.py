@@ -14,7 +14,18 @@ Commands mirror the paper's workflow:
 * ``repro recipe-score`` — Figure 1 aggregate accuracy;
 * ``repro trace export/import`` — write a generated trace to an
   mmap-able ``.npz`` file / read one back and summarize it (feed it to
-  ``repro simulate --trace FILE``).
+  ``repro simulate --trace FILE``);
+* ``repro advisor --workload isx --machine skl [--fast]`` — run the
+  Figure-1 recipe loop to convergence (``--fast`` answers from the
+  closed-form queueing model, falling back with a stated reason);
+* ``repro crossval-analytic`` — the analytic-vs-simulator error table
+  backing the ``--fast`` error bounds (docs/QUEUEING.md);
+* ``repro cache stats`` — entry counts, bytes, and hit/miss tallies for
+  the SimStats + calibration stores.
+
+``characterize`` and ``analyze`` accept ``--fast`` to answer from the
+calibrated closed form instead of simulating; the global ``-v`` prints
+solver diagnostics (iterations, final residual).
 """
 
 from __future__ import annotations
@@ -79,8 +90,21 @@ def _print_cache_summary() -> None:
     cache = get_cache()
     if cache.enabled:
         print(f"sim cache: {cache.counters.summary()} ({cache.cache_dir})")
+        cache.flush_tallies()
     else:
         print("sim cache: disabled")
+
+
+def _print_point_diagnostics(point: "object", args: argparse.Namespace) -> None:
+    """Solver health line (iterations + final residual) under ``-v``."""
+    if not getattr(args, "verbose", False):
+        return
+    iterations = getattr(point, "iterations", None)
+    residual = getattr(point, "residual", None)
+    if iterations is None or residual is None:
+        return
+    route = "closed form" if iterations == 0 else f"{iterations} iteration(s)"
+    print(f"  solver: {route}, final residual {residual:.2e}")
 
 
 def _cmd_machines(_: argparse.Namespace) -> int:
@@ -94,6 +118,42 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
     _apply_perf_flags(args)
     machine = get_machine(args.machine)
+    if getattr(args, "fast", False):
+        from .analysis.sanitizer import sanitize_enabled
+
+        if sanitize_enabled():
+            # Stated-reason fallback: the whole point of sanitize mode
+            # is to execute the instrumented simulator.
+            print(
+                "--fast declined: sanitize mode must execute the "
+                "instrumented simulator; running the full sweep"
+            )
+        else:
+            from .perfmodel.queueing import analytic_profile, calibrate_from_probes
+
+            start = time.perf_counter()
+            params = calibrate_from_probes(machine)
+            profile = analytic_profile(machine, params, levels=args.levels)
+            wall = time.perf_counter() - start
+            print(
+                f"latency profile for {machine.name} "
+                f"({len(profile.points)} samples, source={profile.source})"
+            )
+            for point in profile.points:
+                print(
+                    f"  {point.bandwidth_gbs:8.1f} GB/s -> "
+                    f"{point.latency_ns:6.1f} ns"
+                )
+            print(
+                f"analytic fast path: {params.probes} cached probe run(s), "
+                f"L0={params.unloaded_latency_ns:.1f} ns, "
+                f"A={params.contention_ns:.1f} ns; {wall:.3f}s wall"
+            )
+            _print_cache_summary()
+            if args.out:
+                profile.save(args.out)
+                print(f"saved to {args.out}")
+            return 0
     config = XMemConfig(levels=args.levels, batch=args.batch)
     checkpoint = None
     if args.checkpoint:
@@ -135,7 +195,13 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
-    analyzer = RoutineAnalyzer(machine)
+    profile = None
+    if getattr(args, "fast", False):
+        from .perfmodel.queueing import analytic_profile, calibrate_from_probes
+
+        params = calibrate_from_probes(machine)
+        profile = analytic_profile(machine, params)
+    analyzer = RoutineAnalyzer(machine, profile)
     pattern = AccessPattern(args.pattern)
     classification = Classification(
         pattern=pattern,
@@ -146,6 +212,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         args.bandwidth, routine=args.routine, classification=classification
     )
     print(report.render())
+    if profile is not None:
+        from .core.uncertainty import analytic_widened_errors, mlp_uncertainty
+        from .units import GIGA
+
+        bw_err, lat_err = analytic_widened_errors()
+        uncertainty = mlp_uncertainty(
+            machine,
+            args.bandwidth * GIGA,
+            bandwidth_rel_error=bw_err,
+            latency_rel_error=lat_err,
+            profile=profile,
+        )
+        print(
+            "analytic fast path: error budget widened to "
+            f"±{bw_err:.0%} bandwidth / ±{lat_err:.0%} latency "
+            "(cross-validated model error; see docs/QUEUEING.md)"
+        )
+        print(uncertainty.render())
     return 0
 
 
@@ -400,12 +484,83 @@ def _cmd_recipe_score(_: argparse.Namespace) -> int:
     return 0 if fig1.unexplained_disagreements == 0 else 1
 
 
+def _cmd_advisor(args: argparse.Namespace) -> int:
+    from .core.advisor import Advisor
+    from .workloads import get_workload
+
+    _apply_perf_flags(args)
+    machine = get_machine(args.machine)
+    workload = get_workload(args.workload)
+    result = Advisor(workload, machine, fast=args.fast).run()
+    print(result.render())
+    if result.final_prediction is not None:
+        _print_point_diagnostics(result.final_prediction.point, args)
+    return 0
+
+
+def _cmd_crossval_analytic(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments.analytic_crossval import (
+        crossval_analytic,
+        render_analytic_crossval,
+        rows_to_json,
+        table_ok,
+    )
+
+    _apply_perf_flags(args)
+    machines = [get_machine(name) for name in args.machine] if args.machine else None
+    rows = crossval_analytic(machines=machines)
+    print(render_analytic_crossval(rows))
+    _print_cache_summary()
+    if args.json:
+        Path(args.json).write_text(rows_to_json(rows))
+        print(f"wrote error table to {args.json}")
+    if not table_ok(rows):
+        print(
+            "FAIL: an eligible cell exceeds the documented error bound "
+            "(or a fallback lacks a reason)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .perf.cache import collect_stats, get_cache
+
+    cache = get_cache()
+    if not cache.enabled:
+        print("sim cache: disabled")
+        return 0
+    stats = collect_stats(cache)
+    print(f"cache directory: {stats.cache_dir}")
+    for kind, usage in sorted(stats.usage.items()):
+        print(f"  {kind:<12s} {usage.entries:6d} entr(ies), {usage.total_bytes:10d} bytes")
+    print(
+        f"  {'total':<12s} {stats.total_entries:6d} entr(ies), "
+        f"{stats.total_bytes:10d} bytes"
+        + (f", {stats.corrupt_entries} quarantined" if stats.corrupt_entries else "")
+    )
+    tallies = stats.tallies
+    print(
+        f"lifetime tallies: {tallies.summary()}, {tallies.errors} error(s)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MLP/Little's-law performance analysis "
         "(ISPASS 2022 reproduction)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print solver diagnostics (iterations, final residual)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -478,6 +633,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay completed levels from --checkpoint instead of "
         "starting over",
     )
+    p_char.add_argument(
+        "--fast",
+        action="store_true",
+        help="answer from the calibrated closed-form queueing model "
+        "(microseconds instead of a full simulated sweep; probe "
+        "calibration is cached per machine; declines with a stated "
+        "reason under --sanitize)",
+    )
     p_char.set_defaults(func=_cmd_characterize)
 
     p_an = sub.add_parser("analyze", help="analyze one routine measurement")
@@ -492,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="access pattern (decides the binding MSHR file)",
     )
     p_an.add_argument("--routine", default="kernel")
+    p_an.add_argument(
+        "--fast",
+        action="store_true",
+        help="analyze against the calibrated closed-form latency curve "
+        "and report cross-validated (widened) error bars",
+    )
     p_an.set_defaults(func=_cmd_analyze)
 
     p_ing = sub.add_parser(
@@ -638,6 +807,51 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "recipe-score", help="Figure 1 recipe-accuracy summary"
     ).set_defaults(func=_cmd_recipe_score)
+
+    p_adv = sub.add_parser(
+        "advisor",
+        help="run the Figure-1 recipe loop to convergence",
+        parents=[perf_flags],
+    )
+    p_adv.add_argument("--machine", required=True, choices=machine_names())
+    p_adv.add_argument(
+        "--workload",
+        required=True,
+        choices=["isx", "hpcg", "pennant", "comd", "minighost", "snap"],
+    )
+    p_adv.add_argument(
+        "--fast",
+        action="store_true",
+        help="solve operating points with the closed-form queueing model "
+        "where eligible; ineligible states fall back to the full solver "
+        "with a stated reason",
+    )
+    p_adv.set_defaults(func=_cmd_advisor)
+
+    p_cv = sub.add_parser(
+        "crossval-analytic",
+        help="analytic-vs-simulator error table for the --fast mode "
+        "(exits 1 if an eligible cell breaks the documented bound)",
+        parents=[perf_flags],
+    )
+    p_cv.add_argument(
+        "--machine",
+        action="append",
+        choices=machine_names(),
+        help="restrict to this machine (repeatable; default: the three "
+        "paper machines)",
+    )
+    p_cv.add_argument("--json", help="also write the table as JSON here")
+    p_cv.set_defaults(func=_cmd_crossval_analytic)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect the content-addressed result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats",
+        help="entry counts, bytes, and lifetime hit/miss tallies per store",
+    ).set_defaults(func=_cmd_cache_stats)
     return parser
 
 

@@ -64,6 +64,9 @@ class AdvisorResult:
     final_state: WorkloadState
     final_decision: RecipeDecision
     stop_reason: str
+    #: Prediction for the final state (carries ``solved_fast`` /
+    #: ``fallback_reason`` provenance when the advisor ran in fast mode).
+    final_prediction: Optional[RuntimePrediction] = None
 
     @property
     def cumulative_speedup(self) -> float:
@@ -89,6 +92,14 @@ class AdvisorResult:
             f"  final: {self.final_state.label} "
             f"(cumulative {self.cumulative_speedup:.2f}x); stop: {self.stop_reason}"
         )
+        if self.final_prediction is not None:
+            if self.final_prediction.solved_fast:
+                lines.append("  solved analytically (closed-form fast path)")
+            elif self.final_prediction.fallback_reason:
+                lines.append(
+                    "  fell back to the full solver: "
+                    f"{self.final_prediction.fallback_reason}"
+                )
         return "\n".join(lines)
 
 
@@ -129,10 +140,11 @@ class Advisor:
         *,
         curve: Optional[Union[LatencyModel, LatencyProfile]] = None,
         max_iterations: int = 8,
+        fast: bool = False,
     ) -> None:
         self.workload = workload
         self.machine = machine
-        self.model = RuntimeModel(machine, curve=curve)
+        self.model = RuntimeModel(machine, curve=curve, fast=fast)
         self.recipe = Recipe(machine)
         self.max_iterations = max_iterations
 
@@ -212,4 +224,5 @@ class Advisor:
             final_state=state,
             final_decision=final_decision,
             stop_reason=stop_reason,
+            final_prediction=prediction,
         )

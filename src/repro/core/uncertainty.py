@@ -146,6 +146,38 @@ def quality_widened_errors(
     return bandwidth_rel_error + widening, latency_rel_error
 
 
+def analytic_widened_errors(
+    *,
+    bandwidth_rel_error: float = 0.03,
+    latency_rel_error: float = 0.05,
+) -> Tuple[float, float]:
+    """Widen the error budget for answers from the ``--fast`` closed form.
+
+    The analytic queueing model trades simulation time for a documented
+    model error: the cross-validated worst-case deviations
+    (:data:`~repro.perfmodel.queueing.ANALYTIC_BW_ERROR_BOUND` /
+    :data:`~repro.perfmodel.queueing.ANALYTIC_LAT_ERROR_BOUND`) are
+    added to the respective budgets so ``--fast`` verdicts carry error
+    bars that cover the shortcut, not just the counters.  Returns
+    ``(bandwidth_rel_error, latency_rel_error)`` ready for
+    :func:`mlp_uncertainty` — the exact shape of
+    :func:`quality_widened_errors`, for the analytic failure mode.
+    """
+    if bandwidth_rel_error < 0 or latency_rel_error < 0:
+        raise ConfigurationError("relative errors must be >= 0")
+    # Imported here: repro.core <-> repro.perfmodel is a package cycle
+    # at init time (advisor imports the runtime model).
+    from ..perfmodel.queueing import (
+        ANALYTIC_BW_ERROR_BOUND,
+        ANALYTIC_LAT_ERROR_BOUND,
+    )
+
+    return (
+        bandwidth_rel_error + ANALYTIC_BW_ERROR_BOUND,
+        latency_rel_error + ANALYTIC_LAT_ERROR_BOUND,
+    )
+
+
 def decision_is_robust(
     uncertainty: MlpUncertainty, machine: MachineSpec, binding_level: int
 ) -> bool:

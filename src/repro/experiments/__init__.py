@@ -9,6 +9,12 @@ from .ablation import (
     scaled_latency_curves,
     threshold_sweep,
 )
+from .analytic_crossval import (
+    AnalyticCrossValRow,
+    crossval_analytic,
+    render_analytic_crossval,
+    table_ok,
+)
 from .cross_validation import (
     CrossValidationRow,
     cross_validate,
@@ -58,8 +64,12 @@ from .tables import (
 )
 
 __all__ = [
+    "AnalyticCrossValRow",
     "BW_TOLERANCE",
     "DEFAULT_THRESHOLDS",
+    "crossval_analytic",
+    "render_analytic_crossval",
+    "table_ok",
     "PerturbationResult",
     "PrefetchDistancePoint",
     "ContentionResult",

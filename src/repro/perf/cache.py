@@ -48,10 +48,11 @@ import enum
 import hashlib
 import json
 import os
+import re
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .. import __version__
 from ..analysis.sanitizer import sanitize_enabled
@@ -73,6 +74,18 @@ from ..sim.stats import SimStats
 SCHEMA_VERSION = 3
 
 _DISABLE_VALUES = ("0", "off", "false", "no")
+
+#: Sim shards are two-hex-digit directories directly under the cache
+#: root; payload kinds must never collide with that namespace.
+_SHARD_DIR = re.compile(r"^[0-9a-f]{2}$")
+
+#: Valid payload-kind names: python-identifier-ish, and (checked
+#: separately) never a two-hex-digit shard name.
+_KIND_NAME = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
+
+#: Persistent hit/miss ledger file (JSON lines, one counter delta per
+#: flush) kept beside the shards.
+TALLIES_FILE = "tallies.jsonl"
 
 
 # -- canonical digests ----------------------------------------------------------
@@ -204,9 +217,16 @@ def _env_enabled() -> bool:
 
 
 class SimCache:
-    """Content-addressed store of :class:`~repro.sim.stats.SimStats`."""
+    """Content-addressed store of :class:`~repro.sim.stats.SimStats`.
 
-    __slots__ = ("cache_dir", "enabled", "counters")
+    Also hosts a generic *payload* store for small JSON documents keyed
+    by ``(kind, digest)`` — e.g. the queueing-model calibrations of
+    :mod:`repro.perfmodel.queueing` — living under ``<cache_dir>/<kind>/``
+    so they share the sim store's sharding, atomic writes, quarantine
+    behavior, and counters without colliding with SimStats entries.
+    """
+
+    __slots__ = ("cache_dir", "enabled", "counters", "_tally_base")
 
     def __init__(
         self,
@@ -217,6 +237,9 @@ class SimCache:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.enabled = _env_enabled() if enabled is None else enabled
         self.counters = CacheCounters()
+        # Counter snapshot at the last tallies flush (so each flush
+        # appends only the delta accumulated since).
+        self._tally_base = CacheCounters()
 
     def path_for(self, digest: str) -> Path:
         """On-disk location of one entry (sharded by digest prefix)."""
@@ -288,6 +311,103 @@ class SimCache:
             # recovery path stays exercised under the CI fault leg.
             injector.maybe_corrupt_file("cache_corrupt", digest, path)
             injector.maybe_corrupt_file("cache_truncate", digest, path)
+
+    # -- generic payload store (calibrations, ...) ---------------------------
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        """Reject kinds that could collide with the sim shard layout."""
+        if not _KIND_NAME.match(kind) or _SHARD_DIR.match(kind):
+            raise CacheKeyError(f"invalid payload kind {kind!r}")
+
+    def payload_path_for(self, digest: str, *, kind: str) -> Path:
+        """On-disk location of one ``(kind, digest)`` payload entry."""
+        self._check_kind(kind)
+        return self.cache_dir / kind / digest[:2] / f"{digest}.json"
+
+    def load_payload(self, digest: str, *, kind: str) -> Optional[Dict[str, Any]]:
+        """Fetch a stored JSON payload; corrupt entries are quarantined misses."""
+        if not self.enabled:
+            return None
+        path = self.payload_path_for(digest, kind=kind)
+        try:
+            doc = json.loads(path.read_text())
+            if doc.get("schema") != SCHEMA_VERSION or doc.get("digest") != digest:
+                raise ValueError("schema/digest mismatch")
+            payload = doc["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not a JSON object")
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.counters.misses += 1
+            self.counters.errors += 1
+            quarantined = self._quarantine(path)
+            warnings.warn(
+                f"discarding corrupt {kind} cache entry {path.name}: {exc}"
+                + (f" (quarantined as {quarantined.name})" if quarantined else ""),
+                stacklevel=2,
+            )
+            return None
+        self.counters.hits += 1
+        return payload
+
+    def store_payload(
+        self, digest: str, payload: Dict[str, Any], *, kind: str
+    ) -> None:
+        """Persist one JSON payload atomically under its kind directory."""
+        if not self.enabled:
+            return
+        path = self.payload_path_for(digest, kind=kind)
+        doc = {"schema": SCHEMA_VERSION, "digest": digest, "payload": payload}
+        try:
+            from ..io.atomic import atomic_write_text
+
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, json.dumps(doc))
+        except OSError as exc:
+            # Payloads are derived data: a full disk must not fail the run.
+            self.counters.errors += 1
+            warnings.warn(
+                f"could not write {kind} cache entry: {exc}", stacklevel=2
+            )
+            return
+        self.counters.stores += 1
+
+    # -- persistent tallies ---------------------------------------------------
+
+    def flush_tallies(self) -> None:
+        """Append the counter delta since the last flush to the ledger.
+
+        The ledger (``tallies.jsonl``) makes hit/miss accounting survive
+        the process: ``repro cache stats`` sums it alongside the live
+        handle's counters.  Best-effort — an unwritable directory only
+        skips the flush.
+        """
+        if not self.enabled:
+            return
+        delta = self.counters.diff(self._tally_base)
+        if not (delta.hits or delta.misses or delta.stores or delta.errors):
+            return
+        try:
+            from ..io.atomic import append_jsonl
+
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            append_jsonl(
+                self.cache_dir / TALLIES_FILE,
+                {
+                    "hits": delta.hits,
+                    "misses": delta.misses,
+                    "stores": delta.stores,
+                    "errors": delta.errors,
+                },
+                fsync=False,
+            )
+        except OSError as exc:
+            warnings.warn(f"could not flush cache tallies: {exc}", stacklevel=2)
+            return
+        self._tally_base = self.counters.snapshot()
 
 
 # -- process-global handle -------------------------------------------------------
@@ -368,4 +488,113 @@ def cached_run_trace(
         trace, config, latency_model=latency_model, max_events=max_events
     )
     handle.store(digest, stats)
+    return stats
+
+
+# -- cache statistics -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KindUsage:
+    """Entry count and byte footprint of one store kind on disk."""
+
+    entries: int
+    total_bytes: int
+
+
+@dataclass
+class CacheStats:
+    """One snapshot of a cache directory's contents and accounting."""
+
+    cache_dir: Path
+    #: Disk usage per store: ``"sim"`` plus one key per payload kind.
+    usage: Dict[str, KindUsage] = field(default_factory=dict)
+    #: Quarantined ``.corrupt`` files across all stores.
+    corrupt_entries: int = 0
+    #: Lifetime hit/miss tallies summed from the persistent ledger
+    #: (includes the live handle's just-flushed counts).
+    tallies: CacheCounters = field(default_factory=CacheCounters)
+
+    @property
+    def total_entries(self) -> int:
+        """All entries across every store kind."""
+        return sum(u.entries for u in self.usage.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes across every store kind."""
+        return sum(u.total_bytes for u in self.usage.values())
+
+
+def _scan_shards(root: Path) -> Tuple[int, int, int]:
+    """(entries, bytes, corrupt) across one store's shard directories."""
+    entries = total = corrupt = 0
+    if not root.is_dir():
+        return 0, 0, 0
+    for shard in sorted(root.iterdir()):
+        if not (shard.is_dir() and _SHARD_DIR.match(shard.name)):
+            continue
+        for entry in sorted(shard.iterdir()):
+            if entry.suffix == ".corrupt":
+                corrupt += 1
+                continue
+            if entry.suffix != ".json":
+                continue
+            try:
+                size = entry.stat().st_size
+            except OSError:  # repro: noqa[RES001] - raced with concurrent eviction; skip the entry
+                continue
+            entries += 1
+            total += size
+    return entries, total, corrupt
+
+
+def read_tallies(cache_dir: Path) -> CacheCounters:
+    """Sum the persistent hit/miss ledger (malformed lines are skipped)."""
+    total = CacheCounters()
+    path = cache_dir / TALLIES_FILE
+    try:
+        text = path.read_text()
+    except OSError:  # repro: noqa[RES001] - no ledger yet means zero tallies
+        return total
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+            total.add(
+                CacheCounters(
+                    hits=int(doc.get("hits", 0)),
+                    misses=int(doc.get("misses", 0)),
+                    stores=int(doc.get("stores", 0)),
+                    errors=int(doc.get("errors", 0)),
+                )
+            )
+        except (ValueError, TypeError):
+            continue  # a torn append must not poison the whole ledger
+    return total
+
+
+def collect_stats(cache: Optional[SimCache] = None) -> CacheStats:
+    """Scan a cache directory into a :class:`CacheStats` snapshot.
+
+    Flushes the handle's live counters into the persistent ledger first,
+    so the reported tallies cover this process too.
+    """
+    handle = cache if cache is not None else get_cache()
+    handle.flush_tallies()
+    stats = CacheStats(cache_dir=handle.cache_dir)
+    sim_entries, sim_bytes, corrupt = _scan_shards(handle.cache_dir)
+    stats.usage["sim"] = KindUsage(entries=sim_entries, total_bytes=sim_bytes)
+    stats.corrupt_entries = corrupt
+    if handle.cache_dir.is_dir():
+        for child in sorted(handle.cache_dir.iterdir()):
+            if not child.is_dir() or _SHARD_DIR.match(child.name):
+                continue
+            if not _KIND_NAME.match(child.name):
+                continue
+            entries, total, kind_corrupt = _scan_shards(child)
+            stats.usage[child.name] = KindUsage(entries=entries, total_bytes=total)
+            stats.corrupt_entries += kind_corrupt
+    stats.tallies = read_tallies(handle.cache_dir)
     return stats

@@ -1,4 +1,5 @@
-"""Analytic performance model: fixed-point solver and case-study driver."""
+"""Analytic performance model: fixed-point solver, closed-form fast path,
+and case-study driver."""
 
 from .casestudy import (
     SPEEDUP_HELPED,
@@ -6,16 +7,34 @@ from .casestudy import (
     CaseStudyRunner,
     run_case_study,
 )
+from .queueing import (
+    FastPathDecision,
+    QueueingParams,
+    analytic_profile,
+    calibrate_from_model,
+    calibrate_from_probes,
+    solve_operating_point_fast,
+    state_eligibility,
+    trace_eligibility,
+)
 from .runtime import RuntimeModel, RuntimePrediction
 from .solver import SolvedPoint, solve_operating_point
 
 __all__ = [
     "CaseStudyResult",
     "CaseStudyRunner",
+    "FastPathDecision",
+    "QueueingParams",
     "RuntimeModel",
     "RuntimePrediction",
     "SPEEDUP_HELPED",
     "SolvedPoint",
+    "analytic_profile",
+    "calibrate_from_model",
+    "calibrate_from_probes",
     "run_case_study",
     "solve_operating_point",
+    "solve_operating_point_fast",
+    "state_eligibility",
+    "trace_eligibility",
 ]

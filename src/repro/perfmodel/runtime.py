@@ -26,6 +26,7 @@ from ..memory.latency_model import LatencyModel
 from ..memory.profile import LatencyProfile
 from ..optim.transforms import WorkloadState
 from ..units import to_gb_per_s
+from .queueing import QueueingParams, solve_operating_point_fast, state_eligibility
 from .solver import SolvedPoint, solve_operating_point
 
 
@@ -37,6 +38,11 @@ class RuntimePrediction:
     point: SolvedPoint
     #: Relative execution time (1.0 ≙ base traffic at base bandwidth).
     time_relative: float
+    #: True when the point came from the closed-form analytic solve.
+    solved_fast: bool = False
+    #: Why a fast-mode query fell back to the full solver ("" if it
+    #: did not fall back).
+    fallback_reason: str = ""
 
     @property
     def bandwidth_gbs(self) -> float:
@@ -68,9 +74,17 @@ class RuntimeModel:
         machine: MachineSpec,
         *,
         curve: Optional[Union[LatencyModel, LatencyProfile]] = None,
+        fast: bool = False,
+        params: Optional[QueueingParams] = None,
     ) -> None:
         self.machine = machine
         self.curve = curve
+        #: Answer eligible queries from the closed-form queueing model;
+        #: ineligible states transparently fall back to the full solver
+        #: with the reason recorded on the prediction.
+        self.fast = fast
+        #: Calibration for the fast path (defaults to the model fit).
+        self.params = params
 
     def predict(self, state: WorkloadState) -> RuntimePrediction:
         """Solve the state's operating point and derive relative time."""
@@ -79,16 +93,37 @@ class RuntimeModel:
                 f"state is for {state.machine_name!r}, model for "
                 f"{self.machine.name!r}"
             )
-        point = solve_operating_point(
-            self.machine,
-            state.demand_mlp,
-            state.binding_level,
-            curve=self.curve,
-        )
+        solved_fast = False
+        fallback_reason = ""
+        if self.fast:
+            decision = state_eligibility(state)
+            if decision.eligible:
+                point = solve_operating_point_fast(
+                    self.machine,
+                    state.demand_mlp,
+                    state.binding_level,
+                    params=self.params,
+                )
+                solved_fast = True
+            else:
+                fallback_reason = decision.reason
+        if not solved_fast:
+            point = solve_operating_point(
+                self.machine,
+                state.demand_mlp,
+                state.binding_level,
+                curve=self.curve,
+            )
         # time ∝ traffic / bandwidth, normalized so base traffic (1.0)
         # at 1 GB/s would take 1e9 relative units; only ratios matter.
         time_relative = state.traffic_factor / point.bandwidth_bytes
-        return RuntimePrediction(state=state, point=point, time_relative=time_relative)
+        return RuntimePrediction(
+            state=state,
+            point=point,
+            time_relative=time_relative,
+            solved_fast=solved_fast,
+            fallback_reason=fallback_reason,
+        )
 
     def speedup(self, before: WorkloadState, after: WorkloadState) -> float:
         """Predicted speedup of applying a transform (before → after)."""

@@ -49,6 +49,11 @@ class SolvedPoint:
     n_observed: float
     bandwidth_capped: bool
     iterations: int
+    #: Final relative residual of the fixed point: how far the returned
+    #: bandwidth sits from ``min(cap, BW(n, lat))``, normalized by the
+    #: achievable ceiling.  Near float rounding for both the bisection
+    #: and the closed-form path; printed under ``-v`` as a health check.
+    residual: float = 0.0
 
     @property
     def bandwidth_gbs(self) -> float:
@@ -150,6 +155,9 @@ def solve_operating_point(
         lat = model.latency_ns(min(1.0, bw / peak))
 
     n_observed = bw * lat * NANO / cls / ncores
+    final_residual = (
+        abs(bw - min(cap, bandwidth_from_mlp(n, lat, cls, cores=ncores))) / cap
+    )
     return SolvedPoint(
         bandwidth_bytes=bw,
         latency_ns=lat,
@@ -157,4 +165,5 @@ def solve_operating_point(
         n_observed=n_observed,
         bandwidth_capped=capped,
         iterations=iterations,
+        residual=final_residual,
     )

@@ -1,0 +1,135 @@
+"""Payload store, persistent tallies, and stats scan (repro.perf.cache).
+
+The generic ``(kind, digest)`` payload store hosts the queueing-model
+calibrations beside the SimStats shards; these tests pin its layout
+(never colliding with the two-hex sim shards), quarantine behavior,
+the append-only tallies ledger, and the ``repro cache stats`` scan.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CacheKeyError
+from repro.perf.cache import (
+    CacheCounters,
+    SimCache,
+    collect_stats,
+    read_tallies,
+    stable_digest,
+)
+
+DIGEST = stable_digest({"payload": "unit"})
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SimCache(tmp_path, enabled=True)
+
+
+class TestPayloadStore:
+    def test_round_trip(self, cache):
+        doc = {"a": 1, "b": [1.5, 2.5]}
+        cache.store_payload(DIGEST, doc, kind="calibration")
+        assert cache.load_payload(DIGEST, kind="calibration") == doc
+        assert cache.counters.hits == 1 and cache.counters.stores == 1
+
+    def test_missing_is_miss(self, cache):
+        assert cache.load_payload(DIGEST, kind="calibration") is None
+        assert cache.counters.misses == 1
+
+    def test_kind_namespaces_are_disjoint(self, cache):
+        cache.store_payload(DIGEST, {"k": "one"}, kind="calibration")
+        assert cache.load_payload(DIGEST, kind="other-kind") is None
+        assert cache.load_payload(DIGEST, kind="calibration") == {"k": "one"}
+
+    def test_layout_never_collides_with_sim_shards(self, cache):
+        path = cache.payload_path_for(DIGEST, kind="calibration")
+        # kind dir sits beside the two-hex shard dirs, never inside them
+        assert path.parent.parent.name == "calibration"
+        assert path.parent.parent.parent == cache.cache_dir
+
+    @pytest.mark.parametrize("bad", ["ab", "1f", "", "has space", ".dot", "a/b"])
+    def test_invalid_kinds_rejected(self, cache, bad):
+        with pytest.raises(CacheKeyError):
+            cache.payload_path_for(DIGEST, kind=bad)
+
+    def test_corrupt_payload_quarantined(self, cache):
+        cache.store_payload(DIGEST, {"ok": True}, kind="calibration")
+        path = cache.payload_path_for(DIGEST, kind="calibration")
+        path.write_text("garbage{")
+        with pytest.warns(UserWarning, match="corrupt calibration"):
+            assert cache.load_payload(DIGEST, kind="calibration") is None
+        assert path.with_suffix(".corrupt").exists()
+        assert not path.exists()
+
+    def test_wrong_digest_rejected(self, cache):
+        path = cache.payload_path_for(DIGEST, kind="calibration")
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"schema": 3, "digest": "not-it", "payload": {}})
+        )
+        with pytest.warns(UserWarning):
+            assert cache.load_payload(DIGEST, kind="calibration") is None
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        cache = SimCache(tmp_path, enabled=False)
+        cache.store_payload(DIGEST, {"a": 1}, kind="calibration")
+        assert cache.load_payload(DIGEST, kind="calibration") is None
+        assert not any(tmp_path.iterdir())
+
+
+class TestTallies:
+    def test_flush_appends_deltas(self, cache):
+        cache.counters.hits += 2
+        cache.counters.misses += 1
+        cache.flush_tallies()
+        cache.counters.hits += 3
+        cache.flush_tallies()
+        total = read_tallies(cache.cache_dir)
+        assert (total.hits, total.misses) == (5, 1)
+
+    def test_flush_skips_when_idle(self, cache):
+        cache.flush_tallies()
+        assert not (cache.cache_dir / "tallies.jsonl").exists()
+
+    def test_torn_ledger_line_skipped(self, cache):
+        cache.counters.hits += 1
+        cache.flush_tallies()
+        with open(cache.cache_dir / "tallies.jsonl", "a") as fh:
+            fh.write('{"hits": 4, "mis')  # torn append
+        total = read_tallies(cache.cache_dir)
+        assert total.hits == 1
+
+    def test_counters_diff_and_add(self):
+        a = CacheCounters(hits=5, misses=3, stores=2, errors=1)
+        b = a.snapshot()
+        a.hits += 2
+        assert a.diff(b).hits == 2
+        b.add(CacheCounters(hits=1))
+        assert b.hits == 6
+
+
+class TestCollectStats:
+    def test_scan_counts_both_stores(self, cache):
+        cache.store_payload(DIGEST, {"a": 1}, kind="calibration")
+        shard = cache.cache_dir / DIGEST[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        (shard / f"{DIGEST}.json").write_text("{}")
+        (shard / "dead.corrupt").write_text("x")
+        cache.counters.misses += 4
+        stats = collect_stats(cache)
+        assert stats.usage["sim"].entries == 1
+        assert stats.usage["calibration"].entries == 1
+        assert stats.total_entries == 2
+        assert stats.total_bytes > 0
+        assert stats.corrupt_entries == 1
+        # collect_stats flushes the live counters into the ledger first.
+        assert stats.tallies.misses == 4
+
+    def test_scan_of_empty_dir(self, cache):
+        stats = collect_stats(cache)
+        assert stats.total_entries == 0
+        assert stats.usage["sim"].entries == 0

@@ -72,3 +72,19 @@ def test_append_point_recovers_from_corruption(recorder, tmp_path, capsys):
     recorder.append_point(path, {"n": 1})
     capsys.readouterr()
     assert json.loads(path.read_text()) == [{"n": 1}]
+
+
+def test_out_path_is_bench_keyed(recorder):
+    assert recorder.out_path("analytic_speedup").name == "BENCH_analytic_speedup.json"
+    # The original single-bench location is preserved for old tooling.
+    assert recorder.OUT_PATH == recorder.out_path("sim_throughput")
+
+
+def test_bench_registry_names(recorder):
+    assert set(recorder.BENCHES) == {"sim_throughput", "analytic_speedup"}
+    assert all(callable(fn) for fn in recorder.BENCHES.values())
+
+
+def test_record_rejects_unknown_bench(recorder):
+    with pytest.raises(SystemExit, match="unknown bench"):
+        recorder.record(["no_such_bench"])

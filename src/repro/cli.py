@@ -21,7 +21,9 @@ Commands mirror the paper's workflow:
 * ``repro crossval-analytic`` — the analytic-vs-simulator error table
   backing the ``--fast`` error bounds (docs/QUEUEING.md);
 * ``repro cache stats`` — entry counts, bytes, and hit/miss tallies for
-  the SimStats + calibration stores.
+  the SimStats + calibration stores;
+* ``repro cache gc --max-bytes 500M --max-age 30d`` — evict cache
+  entries oldest-first to fit a byte budget and/or age horizon.
 
 ``characterize`` and ``analyze`` accept ``--fast`` to answer from the
 calibrated closed form instead of simulating; the global ``-v`` prints
@@ -80,6 +82,28 @@ def _print_sanitizer_summary() -> None:
     print(
         f"sanitizer: {'ok' if report.ok else 'VIOLATIONS'} — "
         f"{report.events_checked} events checked, queues audited: {queues}"
+    )
+
+
+def _print_batch_notice(args: argparse.Namespace, stats: "object") -> None:
+    """One-line ``-v`` diagnosis when the batch fast path fell back.
+
+    A zero-batched-fraction run is otherwise silent (the paths are
+    bit-identical by contract), so surface *why*: per-reason fallback
+    counts from :attr:`~repro.sim.stats.SimStats.batch_fallbacks`
+    (``smt`` = batch disabled wholesale, ``handoff``/``mshr_pressure``/
+    … = individual runs replayed through the event engine; reason table
+    in docs/PERFORMANCE.md).
+    """
+    if not getattr(args, "verbose", False):
+        return
+    fallbacks = getattr(stats, "batch_fallbacks", None)
+    if not fallbacks:
+        return
+    reasons = ", ".join(f"{r}={n}" for r, n in sorted(fallbacks.items()))
+    print(
+        f"  batch fast path fell back: {reasons} "
+        "(reason table: docs/PERFORMANCE.md)"
     )
 
 
@@ -348,6 +372,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             sim_cores=cores,
             window_per_core=args.window,
             batch=args.batch,
+            batch_miss=args.batch_miss,
         ),
     )
     print(
@@ -364,6 +389,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"L2 MSHR occ {stats.avg_occupancy(2):.2f}"
     )
     print(f"  prefetch fraction {stats.memory.prefetch_fraction:.0%}")
+    _print_batch_notice(args, stats)
     print()
     report = RoutineAnalyzer(machine).analyze_run(stats)
     print(report.render())
@@ -526,6 +552,66 @@ def _cmd_crossval_analytic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """Byte count with optional K/M/G/T suffix (powers of 1024)."""
+    scales = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    raw = text.strip()
+    scale = scales.get(raw[-1:].upper(), 1)
+    if scale != 1:
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 500M, 2G, or bytes)"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be non-negative")
+    return value
+
+
+def _parse_age(text: str) -> float:
+    """Seconds with optional s/m/h/d/w suffix."""
+    scales = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    raw = text.strip()
+    scale = scales.get(raw[-1:].lower(), 0.0)
+    if scale:
+        raw = raw[:-1]
+    else:
+        scale = 1.0
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r} (expected e.g. 30d, 12h, 45m, or seconds)"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("age must be non-negative")
+    return value
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from .perf.cache import gc_cache, get_cache
+
+    cache = get_cache()
+    if not cache.enabled:
+        print("sim cache: disabled")
+        return 0
+    if args.max_bytes is None and args.max_age is None:
+        print(
+            "error: cache gc needs --max-bytes and/or --max-age",
+            file=sys.stderr,
+        )
+        return 2
+    result = gc_cache(cache, max_bytes=args.max_bytes, max_age_s=args.max_age)
+    print(
+        f"evicted {result.removed_entries} entr(ies), "
+        f"{result.removed_bytes} bytes; kept {result.kept_entries} "
+        f"entr(ies), {result.kept_bytes} bytes ({cache.cache_dir})"
+    )
+    return 0
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     from .perf.cache import collect_stats, get_cache
 
@@ -587,6 +673,15 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized, falling back to the event engine for the miss "
         "stream (results are bit-identical; --no-batch forces the "
         "pure event engine)",
+    )
+    perf_flags.add_argument(
+        "--batch-miss",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="batched miss retirement: also retire runs containing "
+        "misses closed-form when the replay is provably exact "
+        "(requires --batch; results are bit-identical; "
+        "--no-batch-miss restricts batching to all-hit runs)",
     )
     perf_flags.add_argument(
         "--retries",
@@ -852,6 +947,28 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="entry counts, bytes, and lifetime hit/miss tallies per store",
     ).set_defaults(func=_cmd_cache_stats)
+    p_gc = cache_sub.add_parser(
+        "gc",
+        help="evict entries oldest-first to fit a byte budget and/or "
+        "age horizon (quarantined .corrupt files are left for forensics)",
+    )
+    p_gc.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="byte budget, e.g. 500M or 2G (K/M/G/T suffixes, powers "
+        "of 1024; plain numbers are bytes)",
+    )
+    p_gc.add_argument(
+        "--max-age",
+        type=_parse_age,
+        default=None,
+        metavar="AGE",
+        help="drop entries older than this, e.g. 30d, 12h, 45m "
+        "(s/m/h/d/w suffixes; plain numbers are seconds)",
+    )
+    p_gc.set_defaults(func=_cmd_cache_gc)
     return parser
 
 

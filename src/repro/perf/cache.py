@@ -71,7 +71,10 @@ from ..sim.stats import SimStats
 #: SimConfig gained ``batch`` (the flag enters the digest via the config
 #: payload; the schema bump invalidates v2 entries whose stored stats
 #: lack the new field).
-SCHEMA_VERSION = 3
+#: v4: batched miss retirement — SimConfig gained ``batch_miss`` and
+#: SimStats gained ``batch_miss_accesses``/``batch_fallbacks``; v3
+#: entries lack the new stats fields and must not be replayed.
+SCHEMA_VERSION = 4
 
 _DISABLE_VALUES = ("0", "off", "false", "no")
 
@@ -573,6 +576,101 @@ def read_tallies(cache_dir: Path) -> CacheCounters:
         except (ValueError, TypeError):
             continue  # a torn append must not poison the whole ledger
     return total
+
+
+# -- cache maintenance ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GcResult:
+    """Outcome of one :func:`gc_cache` pass."""
+
+    removed_entries: int
+    removed_bytes: int
+    kept_entries: int
+    kept_bytes: int
+
+
+def _store_roots(cache_dir: Path) -> Dict[str, Path]:
+    """Every store root: ``"sim"`` (the cache dir itself) plus kind dirs."""
+    roots = {"sim": cache_dir}
+    if cache_dir.is_dir():
+        for child in sorted(cache_dir.iterdir()):
+            if not child.is_dir() or _SHARD_DIR.match(child.name):
+                continue
+            if _KIND_NAME.match(child.name):
+                roots[child.name] = child
+    return roots
+
+
+def gc_cache(
+    cache: Optional[SimCache] = None,
+    *,
+    max_bytes: Optional[int] = None,
+    max_age_s: Optional[float] = None,
+    now: Optional[float] = None,
+) -> GcResult:
+    """Evict cache entries oldest-first until the limits hold.
+
+    Entries (sim results and payloads alike) are ranked by modification
+    time within every kind directory and across the whole cache — the
+    two orders agree because eviction is purely by age.  ``max_age_s``
+    removes every entry older than the horizon; ``max_bytes`` then
+    removes the oldest survivors until the remaining footprint fits the
+    budget.  Quarantined ``.corrupt`` files are forensic artifacts and
+    are never touched; empty shard directories left behind are pruned.
+    Entries that vanish mid-scan (a concurrent run replacing them) are
+    skipped — gc is best-effort by design, like every other maintenance
+    path in this module.
+    """
+    handle = cache if cache is not None else get_cache()
+    if now is None:
+        import time
+
+        now = time.time()
+    entries = []  # (mtime, size, path)
+    for root in _store_roots(handle.cache_dir).values():
+        if not root.is_dir():
+            continue
+        for shard in sorted(root.iterdir()):
+            if not (shard.is_dir() and _SHARD_DIR.match(shard.name)):
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.suffix != ".json":
+                    continue
+                try:
+                    st = entry.stat()
+                except OSError:  # repro: noqa[RES001] - raced with concurrent eviction; skip the entry
+                    continue
+                entries.append((st.st_mtime, st.st_size, entry))
+    entries.sort(key=lambda e: (e[0], str(e[2])))
+    total_bytes = sum(size for _, size, _ in entries)
+    removed_entries = removed_bytes = 0
+    doomed_dirs = set()
+    for mtime, size, path in entries:
+        too_old = max_age_s is not None and now - mtime > max_age_s
+        too_big = max_bytes is not None and total_bytes > max_bytes
+        if not (too_old or too_big):
+            continue
+        try:
+            path.unlink()
+        except OSError:  # repro: noqa[RES001] - raced with concurrent eviction; skip the entry
+            continue
+        removed_entries += 1
+        removed_bytes += size
+        total_bytes -= size
+        doomed_dirs.add(path.parent)
+    for shard in doomed_dirs:
+        try:
+            shard.rmdir()  # only succeeds when the shard emptied out
+        except OSError:  # repro: noqa[RES001] - shard still holds entries (or .corrupt files)
+            pass
+    return GcResult(
+        removed_entries=removed_entries,
+        removed_bytes=removed_bytes,
+        kept_entries=len(entries) - removed_entries,
+        kept_bytes=total_bytes,
+    )
 
 
 def collect_stats(cache: Optional[SimCache] = None) -> CacheStats:

@@ -171,6 +171,78 @@ class StreamPrefetcher:
         self.issued += len(candidates)
         return candidates
 
+    # -- snapshot/replay surface (batch-stepping miss fast path) ----------------
+
+    def snapshot(self) -> Tuple[Dict[int, Tuple[int, int, int, Optional[int], int]], int, int, int]:
+        """Copy of the full tracker state, for speculative replay.
+
+        The batched miss path replays :meth:`observe` over a planned run
+        of misses *before* committing the run; if any observation would
+        emit prefetch candidates, the run is cut there and the tracker
+        restored, so the emitting access trains the prefetcher through
+        the scalar path instead.
+        """
+        return (
+            {
+                page: (
+                    s.last_line,
+                    s.direction,
+                    s.confidence,
+                    s.next_prefetch_line,
+                    s.last_touch_seq,
+                )
+                for page, s in self._streams.items()
+            },
+            self._seq,
+            self.issued,
+            self.dropped_no_stream_slot,
+        )
+
+    def restore(
+        self,
+        snap: Tuple[Dict[int, Tuple[int, int, int, Optional[int], int]], int, int, int],
+    ) -> None:
+        """Reset the tracker to a :meth:`snapshot` copy."""
+        streams, seq, issued, dropped = snap
+        self._streams = {
+            page: _Stream(
+                last_line=last_line,
+                direction=direction,
+                confidence=confidence,
+                next_prefetch_line=next_line,
+                last_touch_seq=touch_seq,
+            )
+            for page, (
+                last_line,
+                direction,
+                confidence,
+                next_line,
+                touch_seq,
+            ) in streams.items()
+        }
+        self._seq = seq
+        self.issued = issued
+        self.dropped_no_stream_slot = dropped
+
+    def observe_replay(self, line_addrs: np.ndarray) -> Optional[int]:
+        """Replay observations in order; stop at the first emission.
+
+        Returns the index of the first element whose sequential
+        :meth:`observe` call would return candidates — the tracker is
+        then mid-mutated (the emitting transition already ran) and the
+        caller must :meth:`restore` and re-replay the shorter prefix.
+        Returns None when no element emits; the tracker is then exactly
+        the state sequential observes of the whole vector would leave.
+        """
+        if not self.enabled:
+            return None
+        observe_one = self._observe_one
+        line_bytes = self.line_bytes
+        for i, line_addr in enumerate(line_addrs.tolist()):
+            if observe_one(line_addr >> 12, line_addr // line_bytes):
+                return i
+        return None
+
     def _evict_stale(self) -> bool:
         """Evict the least-recently-touched stream; False if table empty."""
         if not self._streams:

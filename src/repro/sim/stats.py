@@ -24,16 +24,24 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
+import numpy as np
+
 from ..units import ns
 from typing import Any, Dict, List
 
 #: SimStats fields excluded from :meth:`SimStats.fingerprint` — execution
 #: artifacts that legitimately differ between bit-identical simulations:
 #: wall-clock cost is a host property, and the engine event count /
-#: batch-stepped access count describe *how* the run was executed (the
-#: batch fast path collapses many per-access events into vectorized
-#: steps) rather than what the simulated machine did.
-_NON_SEMANTIC_FIELDS = ("wall_s", "events_fired", "batch_accesses")
+#: batch-stepped access counts / fallback tallies describe *how* the run
+#: was executed (the batch fast path collapses many per-access events
+#: into vectorized steps) rather than what the simulated machine did.
+_NON_SEMANTIC_FIELDS = (
+    "wall_s",
+    "events_fired",
+    "batch_accesses",
+    "batch_miss_accesses",
+    "batch_fallbacks",
+)
 
 
 @dataclass(slots=True)
@@ -75,6 +83,53 @@ class OccupancyTracker:
                 f"{self.capacity}"
             )
         self.peak = max(self.peak, self.occupancy)
+
+    def add_batch(self, times_ns: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a time-sorted sequence of occupancy changes in one pass.
+
+        Element-for-element equivalent to sequential :meth:`add` calls:
+        the integral accumulates the same ``occupancy * dt`` terms
+        through the same left-to-right chained float adds (``np.cumsum``
+        performs sequential adds, unlike ``np.sum``'s pairwise tree), so
+        the resulting ``integral_ns`` / ``full_time_ns`` / ``peak`` /
+        ``occupancy`` are bit-identical to the scalar loop.  ``times_ns``
+        must be nondecreasing; callers interleaving allocations and
+        releases are responsible for merging them into event-engine
+        firing order first.
+        """
+        n = len(times_ns)
+        if n == 0:
+            return
+        dt = np.empty(n, dtype=np.float64)
+        dt[0] = times_ns[0] - self.last_update_ns
+        np.subtract(times_ns[1:], times_ns[:-1], out=dt[1:])
+        if dt.min() < 0:
+            raise ValueError(f"{self.name}: time went backwards in batch")
+        occ_after = self.occupancy + np.cumsum(deltas)
+        if occ_after.min() < 0:
+            raise ValueError(f"{self.name}: occupancy went negative")
+        if occ_after.max() > self.capacity:
+            raise ValueError(
+                f"{self.name}: occupancy {int(occ_after.max())} exceeds "
+                f"capacity {self.capacity}"
+            )
+        occ_before = np.empty(n, dtype=np.int64)
+        occ_before[0] = self.occupancy
+        occ_before[1:] = occ_after[:-1]
+        acc = np.empty(n + 1, dtype=np.float64)
+        acc[0] = self.integral_ns
+        np.multiply(occ_before, dt, out=acc[1:])
+        self.integral_ns = float(np.cumsum(acc)[-1])
+        full = occ_before >= self.capacity
+        if full.any():
+            full_dt = dt[full]
+            facc = np.empty(len(full_dt) + 1, dtype=np.float64)
+            facc[0] = self.full_time_ns
+            facc[1:] = full_dt
+            self.full_time_ns = float(np.cumsum(facc)[-1])
+        self.occupancy = int(occ_after[-1])
+        self.peak = max(self.peak, int(occ_after.max()))
+        self.last_update_ns = float(times_ns[-1])
 
     @property
     def is_full(self) -> bool:
@@ -182,6 +237,16 @@ class SimStats:
     #: observable, excluded from :meth:`fingerprint`; 0 on the pure
     #: event path).
     batch_accesses: int = 0
+    #: Of :attr:`batch_accesses`, accesses retired through runs that
+    #: contained misses (the vectorized MSHR/memory-controller fast
+    #: path).  Execution observable, excluded from :meth:`fingerprint`.
+    batch_miss_accesses: int = 0
+    #: Reason -> count tally of why the batch fast path was disabled for
+    #: the run, or why candidate runs fell back to the event engine
+    #: (execution observable, excluded from :meth:`fingerprint`).  Empty
+    #: when batching never declined; makes zero-batched-fraction runs
+    #: diagnosable.
+    batch_fallbacks: Dict[str, int] = field(default_factory=dict)
     #: Host wall-clock cost of the run in seconds (NOT a simulation
     #: observable: excluded from :meth:`fingerprint`).
     wall_s: float = 0.0
@@ -256,6 +321,10 @@ class SimStats:
             return 0.0
         return self.issued_total() / self.wall_s
 
+    def note_batch_fallback(self, reason: str) -> None:
+        """Tally one batch fast-path decline (diagnostic, non-semantic)."""
+        self.batch_fallbacks[reason] = self.batch_fallbacks.get(reason, 0) + 1
+
     # -- serialization (for the repro.perf.cache content-addressed store) ------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -279,6 +348,8 @@ class SimStats:
             sw_prefetches_issued=doc["sw_prefetches_issued"],
             events_fired=doc.get("events_fired", 0),
             batch_accesses=doc.get("batch_accesses", 0),
+            batch_miss_accesses=doc.get("batch_miss_accesses", 0),
+            batch_fallbacks=dict(doc.get("batch_fallbacks", {})),
             wall_s=doc.get("wall_s", 0.0),
         )
 

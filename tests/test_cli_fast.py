@@ -12,6 +12,19 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _sanitize_off(monkeypatch):
+    """Run the --fast assertions with sanitize mode off.
+
+    Under ``REPRO_SANITIZE=1`` (e.g. the CI sanitize job) ``--fast``
+    correctly declines and runs the instrumented simulator, which would
+    fail every analytic-path assertion here.  The decline behavior
+    itself is covered by ``test_fast_declines_under_sanitize``, which
+    re-sets the variable explicitly.
+    """
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+
 class TestCharacterizeFast:
     def test_fast_profile_and_save(self, capsys, tmp_path):
         out_path = tmp_path / "fast.json"
